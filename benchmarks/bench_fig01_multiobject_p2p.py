@@ -1,0 +1,25 @@
+"""Fig. 1 — internode p2p message rate and throughput vs #senders.
+
+The paper's motivation figure: one process cannot saturate the Omni-Path
+NIC's message rate (4 kB messages) or bandwidth (128 kB messages); multiple
+concurrent sender/receiver pairs can.
+"""
+
+from repro.bench.figures import fig01_multiobject_p2p
+
+from _common import run_figure
+
+
+def test_fig01_multiobject_p2p(benchmark):
+    result = run_figure(benchmark, fig01_multiobject_p2p)
+    rate = result.series["msgrate_4kB[msg/s]"]
+    bw = result.series["throughput_128kB[B/s]"]
+    # multiple senders raise the message rate substantially before the
+    # hardware ceiling flattens the curve
+    assert rate[2] > 2.0 * rate[0]
+    # one sender cannot saturate the NIC with 128 kB streams; a few can
+    assert bw[0] < 0.85 * bw[-1]
+    assert bw[3] > 1.5 * bw[0]
+    # both series are monotone non-decreasing (more objects never hurt)
+    assert all(b >= a * 0.999 for a, b in zip(rate, rate[1:]))
+    assert all(b >= a * 0.999 for a, b in zip(bw, bw[1:]))

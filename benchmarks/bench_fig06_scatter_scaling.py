@@ -1,0 +1,21 @@
+"""Fig. 6 — MPI_Scatter vs node count (16 B and 1 kB), PiP-MColl vs the
+PiP-MPICH baseline."""
+
+from repro.bench.figures import fig06_scatter_scaling
+
+from _common import run_figure
+
+
+def test_fig06_scatter_scaling(benchmark):
+    result = run_figure(benchmark, fig06_scatter_scaling)
+    small_m = result.series["PiP-MColl @16B"]
+    small_b = result.series["PiP-MPICH @16B"]
+    med_m = result.series["PiP-MColl @1kB"]
+    med_b = result.series["PiP-MPICH @1kB"]
+    # PiP-MColl outperforms the baseline at every node count, both sizes
+    assert all(m < b for m, b in zip(small_m, small_b))
+    assert all(m < b for m, b in zip(med_m, med_b))
+    # runtime grows with node count but stays sub-linear in nodes for the
+    # small size (log_{P+1} rounds — §III-A1's scalability claim)
+    n_ratio = result.xs[-1] / result.xs[0]
+    assert small_m[-1] / small_m[0] < n_ratio

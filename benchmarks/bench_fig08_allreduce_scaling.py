@@ -1,0 +1,28 @@
+"""Fig. 8 — MPI_Allreduce vs node count (16 and 1 k doubles), PiP-MColl vs
+the PiP-MPICH baseline.
+
+The paper's own observation (§IV-B3) holds here: the multi-object win is
+clear for small counts, while for the 1 k-double (8 kB) case the per-node
+multi-object synchronisation overhead eats most of the advantage as nodes
+increase.
+"""
+
+from repro.bench.figures import fig08_allreduce_scaling
+
+from _common import at_least_medium_scale, run_figure
+
+
+def test_fig08_allreduce_scaling(benchmark):
+    result = run_figure(benchmark, fig08_allreduce_scaling)
+    small_m = result.series["PiP-MColl @16dbl"]
+    small_b = result.series["PiP-MPICH @16dbl"]
+    med_m = result.series["PiP-MColl @1kdbl"]
+    med_b = result.series["PiP-MPICH @1kdbl"]
+    if at_least_medium_scale():
+        # small counts: multi-object wins at every node count
+        assert all(m < b for m, b in zip(small_m, small_b))
+    # medium counts: the advantage shrinks relative to small counts as
+    # nodes increase (§IV-B3) — compare relative gaps at the largest run
+    small_gain = small_b[-1] / small_m[-1]
+    med_gain = med_b[-1] / med_m[-1]
+    assert med_gain < small_gain

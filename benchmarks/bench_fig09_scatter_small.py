@@ -1,0 +1,20 @@
+"""Fig. 9 — MPI_Scatter, small message sizes (16-512 B), five libraries.
+
+The paper reports PiP-MColl consistently fastest, best speedup 65 % at
+256 B, and clips the plotted bars at 4x.
+"""
+
+from repro.bench.figures import fig09_scatter_small
+
+from _common import run_figure
+
+
+def test_fig09_scatter_small(benchmark):
+    result = run_figure(benchmark, fig09_scatter_small, cap=4.0)
+    mcoll = result.series["PiP-MColl"]
+    # PiP-MColl is the fastest library at every small size
+    for lib, series in result.series.items():
+        if lib != "PiP-MColl":
+            assert all(m <= s for m, s in zip(mcoll, series)), lib
+    # and the advantage over the best competitor is substantial somewhere
+    assert result.best_speedup_vs_fastest_other() > 1.2

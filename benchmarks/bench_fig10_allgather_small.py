@@ -1,0 +1,20 @@
+"""Fig. 10 — MPI_Allgather, small message sizes (16-512 B), five libraries.
+
+The paper's strongest result: up to 4.6x over the fastest competing
+library, with the baseline PiP-MPICH sometimes the *worst* performer due
+to its per-message size-synchronisation overhead.
+"""
+
+from repro.bench.figures import fig10_allgather_small
+
+from _common import at_least_medium_scale, run_figure
+
+
+def test_fig10_allgather_small(benchmark):
+    result = run_figure(benchmark, fig10_allgather_small, cap=6.0)
+    mcoll = result.series["PiP-MColl"]
+    for lib, series in result.series.items():
+        if lib != "PiP-MColl":
+            assert all(m <= s for m, s in zip(mcoll, series)), lib
+    if at_least_medium_scale():
+        assert result.best_speedup_vs_fastest_other() > 1.3

@@ -1,0 +1,22 @@
+"""Fig. 12 — MPI_Scatter, medium and large sizes (1-512 kB).
+
+Same algorithm as for small sizes (§III-A1 is scalable in C_b); the paper
+reports the speedup largest at 1 kB and gradually shrinking as the network
+saturates, but PiP-MColl stays fastest everywhere.
+"""
+
+from repro.bench.figures import fig12_scatter_large
+
+from _common import run_figure
+
+
+def test_fig12_scatter_large(benchmark):
+    result = run_figure(benchmark, fig12_scatter_large, cap=2.0)
+    mcoll = result.series["PiP-MColl"]
+    for lib, series in result.series.items():
+        if lib != "PiP-MColl":
+            assert all(m <= s for m, s in zip(mcoll, series)), lib
+    # the relative advantage decays (or at least does not grow) from the
+    # 1 kB point to the 512 kB point as bandwidth saturates
+    speedups = result.speedup_vs("PiP-MPICH")
+    assert speedups[-1] <= speedups[0] * 1.1

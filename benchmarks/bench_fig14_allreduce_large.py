@@ -1,0 +1,38 @@
+"""Fig. 14 — MPI_Allreduce, medium and large double counts (1 k-512 k),
+including the PiP-MColl-small variant.
+
+The paper's behaviours asserted here:
+
+* PiP-MColl falls behind somewhere in the 1 k-4 k band (the small
+  algorithm's multi-object synchronisation cannot amortise — §IV-D3);
+* from the 8 k-count switch on, the reduce-scatter + ring algorithm makes
+  PiP-MColl fastest, with a large margin over the forced-small variant
+  (the paper reports a 91 % average gain at >= 16 k).
+"""
+
+from repro.bench.figures import fig14_allreduce_large
+
+from _common import at_least_medium_scale, run_figure
+
+
+def test_fig14_allreduce_large(benchmark):
+    result = run_figure(benchmark, fig14_allreduce_large)
+    xs = list(result.xs)
+    mcoll = result.series["PiP-MColl"]
+    small_variant = result.series["PiP-MColl-small"]
+    i8k = xs.index("8k")
+
+    # the crossover exists: some pre-switch point where a baseline wins
+    pre = range(i8k)
+    others = [lib for lib in result.series if not lib.startswith("PiP-MColl")]
+    assert any(
+        result.series[lib][i] < mcoll[i] for lib in others for i in pre
+    )
+    if at_least_medium_scale():
+        # from the switch on, PiP-MColl is fastest...
+        for i in range(i8k, len(xs)):
+            for lib in others:
+                assert mcoll[i] < result.series[lib][i], (lib, xs[i])
+        # ...and far ahead of the forced-small variant
+        for i in range(i8k, len(xs)):
+            assert small_variant[i] > 1.5 * mcoll[i]

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Data-parallel SGD gradient synchronisation — the paper's motivating
+deep-learning workload (§I cites S-Caffe/TensorFlow-style training).
+
+Each simulated rank computes a local "gradient" (a deterministic function
+of its shard), then the cluster allreduces it every step.  We run the same
+training loop over PiP-MColl and the baselines and report simulated time
+per step for a small (dense layer) and a large (conv backbone) gradient,
+crossing PiP-MColl's 8 k-double algorithm switch.
+
+Run:  python examples/data_parallel_training.py
+"""
+
+import numpy as np
+
+import repro
+
+NODES, PPN = 8, 6
+STEPS = 3
+
+
+def train(library_name: str, grad_count: int) -> tuple[float, np.ndarray]:
+    """Simulate STEPS of synchronous SGD; return (time/step, final params)."""
+    lib = repro.make_library(library_name)
+    world = lib.make_world(repro.Topology(NODES, PPN), repro.bebop_broadwell())
+    size = world.world_size
+
+    rng = np.random.default_rng(7)
+    base_grads = [rng.random(grad_count) for _ in range(size)]
+    params = [np.zeros(grad_count) for _ in range(size)]
+    lr = 0.01
+
+    sends = [repro.Buffer.real(np.zeros(grad_count)) for _ in range(size)]
+    recvs = [repro.Buffer.real(np.zeros(grad_count)) for _ in range(size)]
+
+    def body(ctx):
+        for step in range(STEPS):
+            # "compute" the local gradient (deterministic, rank-dependent)
+            local = base_grads[ctx.rank] * (step + 1)
+            sends[ctx.rank].array()[:] = local
+            # charge some compute time so communication/computation overlap
+            # behaviour is realistic
+            yield from ctx.compute(5e-6)
+            yield from lib.allreduce(ctx, sends[ctx.rank], recvs[ctx.rank],
+                                     repro.SUM)
+            params[ctx.rank] -= lr * recvs[ctx.rank].array() / size
+
+    result = world.run(body)
+    return result.elapsed / STEPS, params[0]
+
+
+def main() -> None:
+    print(f"Synchronous data-parallel SGD on {NODES}x{PPN} = {NODES * PPN} "
+          f"ranks, {STEPS} steps\n")
+    for label, count in (("dense head:    1k doubles (8 kB)", 1024),
+                         ("conv backbone: 64k doubles (512 kB)", 65536)):
+        print(f"  gradient = {label}")
+        reference = None
+        for name in ("PiP-MColl", "PiP-MPICH", "IntelMPI", "OpenMPI"):
+            per_step, params = train(name, count)
+            if reference is None:
+                reference = params
+            else:
+                assert np.allclose(params, reference), (
+                    f"{name} diverged from the reference parameters"
+                )
+            print(f"    {name:12s} {per_step * 1e6:9.2f} us/step")
+        print()
+    print("All libraries converge to identical parameters; only the "
+          "simulated time differs.")
+
+
+if __name__ == "__main__":
+    main()

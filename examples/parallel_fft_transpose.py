@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Distributed FFT-style allgather workload (§I cites multi-GPU FFT as a
+major MPI_Allgather consumer).
+
+A 1-D FFT distributed over ranks needs every rank to assemble the full
+signal between butterfly stages; the classic implementation allgathers the
+local shards.  We run the assembly step with real data, verify the
+gathered signal (and its numpy FFT) is identical everywhere, and compare
+PiP-MColl's small- and large-message allgather algorithms against the
+baselines on both sides of the 64 kB switch.
+
+Run:  python examples/parallel_fft_transpose.py
+"""
+
+import numpy as np
+
+import repro
+
+NODES, PPN = 8, 6
+
+
+def assemble(library_name: str, shard_doubles: int):
+    lib = repro.make_library(library_name)
+    world = lib.make_world(repro.Topology(NODES, PPN), repro.bebop_broadwell())
+    size = world.world_size
+
+    rng = np.random.default_rng(11)
+    signal = rng.random(size * shard_doubles)
+    shards = [
+        repro.Buffer.real(signal[r * shard_doubles:(r + 1) * shard_doubles].copy())
+        for r in range(size)
+    ]
+    gathered = [repro.Buffer.alloc(repro.DOUBLE, size * shard_doubles)
+                for _ in range(size)]
+
+    def body(ctx):
+        yield from lib.allgather(ctx, shards[ctx.rank], gathered[ctx.rank])
+
+    elapsed = world.run(body).elapsed
+
+    # every rank must hold the full signal, bit-identical
+    for g in gathered:
+        assert np.array_equal(g.array(), signal)
+    # and the FFT computed anywhere agrees with the FFT of the original
+    assert np.allclose(np.fft.rfft(gathered[0].array()),
+                       np.fft.rfft(signal))
+    return elapsed
+
+
+def main() -> None:
+    size = NODES * PPN
+    print(f"FFT shard assembly (allgather) on {NODES}x{PPN} = {size} ranks\n")
+    for label, shard in (("small shards: 64 doubles (512 B)", 64),
+                         ("large shards: 16k doubles (128 kB)", 16384)):
+        print(f"  {label}")
+        for name in ("PiP-MColl", "PiP-MColl-small", "PiP-MPICH", "IntelMPI"):
+            elapsed = assemble(name, shard)
+            print(f"    {name:16s} {elapsed * 1e6:9.2f} us")
+        print()
+    print("PiP-MColl-small shows why the ring algorithm exists: forcing the "
+          "Bruck algorithm onto 128 kB shards wastes bandwidth (Fig. 13).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Particle-distribution pipeline built on MPI_Scatter (§I cites Pelegant,
+a parallel accelerator-tracking code whose rank 0 distributes particle
+bunches every pipeline stage).
+
+Rank 0 owns the particle table; each stage it scatters one attribute array
+(positions, then momenta, then charges) to all ranks, which apply a local
+kick and report a checksum reduction back.  Exercises scatter + allreduce
+together, with real data verified end-to-end, and shows the multi-object
+scatter's advantage growing with the process count.
+
+Run:  python examples/particle_scatter_pipeline.py
+"""
+
+import numpy as np
+
+import repro
+
+PARTICLES_PER_RANK = 128
+ATTRIBUTES = ("positions", "momenta", "charges")
+
+
+def run_pipeline(library_name: str, nodes: int, ppn: int):
+    lib = repro.make_library(library_name)
+    world = lib.make_world(repro.Topology(nodes, ppn), repro.bebop_broadwell())
+    size = world.world_size
+
+    rng = np.random.default_rng(3)
+    tables = {a: rng.random(size * PARTICLES_PER_RANK) for a in ATTRIBUTES}
+
+    full = {a: repro.Buffer.real(tables[a].copy()) for a in ATTRIBUTES}
+    shard = [
+        {a: repro.Buffer.alloc(repro.DOUBLE, PARTICLES_PER_RANK)
+         for a in ATTRIBUTES}
+        for _ in range(size)
+    ]
+    local_sum = [repro.Buffer.alloc(repro.DOUBLE, 1) for _ in range(size)]
+    global_sum = [repro.Buffer.alloc(repro.DOUBLE, 1) for _ in range(size)]
+    checks = []
+
+    def body(ctx):
+        for a in ATTRIBUTES:
+            sb = full[a] if ctx.rank == 0 else None
+            yield from lib.scatter(ctx, sb, shard[ctx.rank][a], root=0)
+            # local physics kick + checksum
+            kicked = shard[ctx.rank][a].array() * 1.5
+            local_sum[ctx.rank].array()[0] = kicked.sum()
+            yield from ctx.compute(2e-6)
+            yield from lib.allreduce(
+                ctx, local_sum[ctx.rank], global_sum[ctx.rank], repro.SUM
+            )
+            if ctx.rank == 0:
+                checks.append((a, global_sum[0].array()[0]))
+
+    elapsed = world.run(body).elapsed
+
+    for a, measured in checks:
+        expected = tables[a].sum() * 1.5
+        assert np.isclose(measured, expected), (a, measured, expected)
+    return elapsed
+
+
+def main() -> None:
+    print("Particle scatter pipeline (3 attributes -> kick -> checksum)\n")
+    for nodes, ppn in ((4, 4), (8, 8), (16, 12)):
+        print(f"  cluster {nodes}x{ppn} = {nodes * ppn} ranks")
+        for name in ("PiP-MColl", "PiP-MPICH", "MVAPICH2"):
+            elapsed = run_pipeline(name, nodes, ppn)
+            print(f"    {name:12s} {elapsed * 1e6:9.2f} us total")
+        print()
+    print("The multi-object scatter's edge grows with processes per node: "
+          "every local process is an internode sender (Fig. 2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""A tour of the intranode shared-memory mechanisms of §II.
+
+Runs the same intranode message pattern over each mechanism model —
+POSIX-SHMEM (double copy), CMA/KNEM/LiMiC (kernel copy + syscall),
+XPMEM (attach cache), PiP (zero syscall + size-sync handshake) — and
+prints per-size costs, reproducing the paper's §II trade-off table:
+
+* POSIX wins tiny messages (no syscalls, fire-and-forget) but pays the
+  double copy for large ones;
+* kernel-copy mechanisms pay a syscall per transfer and cold page faults;
+* XPMEM amortises its attach across reuses;
+* PiP pays only its size-sync handshake — and the *first* iteration is as
+  fast as the rest, since there is nothing to warm up.
+
+Run:  python examples/shmem_mechanism_tour.py
+"""
+
+import numpy as np
+
+import repro
+from repro.hw import Topology, bebop_broadwell
+from repro.mpi import BYTE, Buffer, World
+from repro.shmem import KernelCopy, PipShmem, PosixShmem, Xpmem
+
+SIZES = [64, 4 * 1024, 64 * 1024, 1024 * 1024]
+MECHANISMS = [
+    ("POSIX-SHMEM", PosixShmem),
+    ("CMA/kernel", KernelCopy),
+    ("XPMEM", Xpmem),
+    ("PiP", PipShmem),
+]
+
+
+def ping(mechanism_factory, nbytes, iterations=3):
+    """One-way intranode transfer; returns (cold time, warm time)."""
+    world = World(
+        Topology(1, 2), bebop_broadwell(), mechanism=mechanism_factory()
+    )
+    payload = Buffer.real(np.full(nbytes, 7, dtype=np.uint8))
+    sink = Buffer.alloc(BYTE, nbytes)
+    times = []
+
+    def body(ctx):
+        for i in range(iterations):
+            t0 = world.engine.now
+            if ctx.rank == 0:
+                yield from ctx.send(1, payload, tag=i)
+            else:
+                yield from ctx.recv(0, sink, tag=i)
+                times.append(world.engine.now - t0)
+
+    world.run(body)
+    assert np.all(sink.array() == 7), "data corrupted"
+    return times[0], times[-1]
+
+
+def main() -> None:
+    print("Intranode one-way transfer cost by mechanism "
+          "(cold first use -> warm steady state)\n")
+    header = f"{'size':>8} |" + "".join(f" {name:>22} |" for name, _ in MECHANISMS)
+    print(header)
+    print("-" * len(header))
+    for nbytes in SIZES:
+        cells = []
+        for _name, factory in MECHANISMS:
+            cold, warm = ping(factory, nbytes)
+            cells.append(f"{cold * 1e6:8.2f} -> {warm * 1e6:8.2f}us")
+        print(f"{repro.Buffer.phantom(nbytes).nbytes:>8} |"
+              + "".join(f" {c:>22} |" for c in cells))
+    print(
+        "\ncold > warm for CMA/XPMEM (page faults, attach syscalls).  POSIX"
+        "\nalso drops after the first message — not warmth, pipelining: its"
+        "\neager double copy overlaps the sender's next copy-in with the"
+        "\nreceiver's copy-out.  PiP is flat: nothing to warm, no second copy"
+        "\nto hide, and only its size-sync handshake on top of one memcpy."
+    )
+
+
+if __name__ == "__main__":
+    main()

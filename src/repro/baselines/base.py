@@ -1,0 +1,95 @@
+"""The MPI-library interface every modelled implementation provides.
+
+A *library* bundles (a) the intranode transport mechanism its p2p path uses
+and (b) its collective algorithm choices.  Benchmarks instantiate one
+library per run and call the three collectives the paper evaluates
+(MPI_Scatter, MPI_Allgather, MPI_Allreduce) through this interface.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.mpi.buffer import Buffer
+from repro.mpi.collectives.group import Group
+from repro.mpi.datatypes import ReduceOp
+from repro.mpi.runtime import RankCtx, World
+from repro.shmem.base import ShmemMechanism
+from repro.sim.engine import Delay, ProcGen
+
+__all__ = ["MpiLibrary"]
+
+
+class MpiLibrary(abc.ABC):
+    """One modelled MPI implementation."""
+
+    #: display name for reports
+    name: str = "abstract"
+    #: fixed per-collective-call software-stack overhead per rank (models
+    #: differences in progress-engine/path length between implementations)
+    software_overhead: float = 0.0
+
+    @abc.abstractmethod
+    def make_mechanism(self) -> Optional[ShmemMechanism]:
+        """Fresh intranode mechanism for a new :class:`World`."""
+
+    def make_world(self, topology, params, phantom: bool = False) -> World:
+        """Convenience: a world configured with this library's transport."""
+        return World(
+            topology, params, mechanism=self.make_mechanism(), phantom=phantom
+        )
+
+    # -- collectives --------------------------------------------------------
+
+    @abc.abstractmethod
+    def scatter(
+        self, ctx: RankCtx, sendbuf: Optional[Buffer], recvbuf: Buffer,
+        root: int = 0,
+    ) -> ProcGen:
+        """MPI_Scatter over the whole world."""
+
+    @abc.abstractmethod
+    def allgather(self, ctx: RankCtx, sendbuf: Buffer, recvbuf: Buffer) -> ProcGen:
+        """MPI_Allgather over the whole world."""
+
+    @abc.abstractmethod
+    def allreduce(
+        self, ctx: RankCtx, sendbuf: Buffer, recvbuf: Buffer, op: ReduceOp
+    ) -> ProcGen:
+        """MPI_Allreduce over the whole world."""
+
+    @abc.abstractmethod
+    def alltoall(self, ctx: RankCtx, sendbuf: Buffer, recvbuf: Buffer) -> ProcGen:
+        """MPI_Alltoall over the whole world (equal blocks)."""
+
+    @abc.abstractmethod
+    def bcast(self, ctx: RankCtx, buf: Buffer, root: int = 0) -> ProcGen:
+        """MPI_Bcast over the whole world."""
+
+    @abc.abstractmethod
+    def gather(self, ctx: RankCtx, sendbuf: Buffer, recvbuf: Optional[Buffer],
+               root: int = 0) -> ProcGen:
+        """MPI_Gather over the whole world."""
+
+    @abc.abstractmethod
+    def reduce(self, ctx: RankCtx, sendbuf: Buffer, recvbuf: Optional[Buffer],
+               op: ReduceOp, root: int = 0) -> ProcGen:
+        """MPI_Reduce over the whole world."""
+
+    @abc.abstractmethod
+    def barrier(self, ctx: RankCtx) -> ProcGen:
+        """MPI_Barrier over the whole world."""
+
+    # -- helpers -------------------------------------------------------------
+
+    def _enter(self, ctx: RankCtx) -> ProcGen:
+        """Charge the per-call software overhead."""
+        yield Delay(self.software_overhead)
+
+    @staticmethod
+    def world_group(ctx: RankCtx) -> Group:
+        return Group(range(ctx.world_size))
+
+    def __str__(self) -> str:
+        return self.name

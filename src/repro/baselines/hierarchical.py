@@ -1,0 +1,186 @@
+"""Two-level (leader-based) collective composition.
+
+MVAPICH2 and Intel MPI run hierarchical collectives by default: an
+intranode phase over shared memory, an internode phase among one *leader*
+process per node (local rank 0), and an intranode fan-out.  These helpers
+compose the classical algorithms of :mod:`repro.mpi.collectives`
+accordingly; the intranode phases travel through the library's configured
+shared-memory mechanism via regular p2p.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.mpi.buffer import Buffer
+from repro.mpi.collectives import (
+    bcast_binomial,
+    gather_binomial,
+    reduce_binomial,
+    scatter_binomial,
+)
+from repro.mpi.collectives.group import Group
+from repro.mpi.datatypes import ReduceOp
+from repro.mpi.runtime import RankCtx
+from repro.sim.engine import ProcGen
+
+__all__ = ["node_group", "leader_group", "hier_scatter", "hier_allgather",
+           "hier_allreduce"]
+
+
+def node_group(ctx: RankCtx) -> Group:
+    """This rank's node as a group (leader = local rank 0 = index 0)."""
+    return Group(range(ctx.node * ctx.ppn, (ctx.node + 1) * ctx.ppn))
+
+
+def leader_group(ctx: RankCtx) -> Group:
+    """One leader (local rank 0) per node."""
+    return Group(ctx.rank_of(n, 0) for n in range(ctx.nodes))
+
+
+def hier_scatter(
+    ctx: RankCtx,
+    sendbuf: Optional[Buffer],
+    recvbuf: Buffer,
+    root: int,
+    leader_scatter: Callable = scatter_binomial,
+) -> ProcGen:
+    """Leader-based scatter.
+
+    Assumes the root is a node leader (the benchmarks use rank 0, as the
+    paper does); a non-leader root first forwards its buffer to its node's
+    leader, which is what production libraries fall back to as well.
+    """
+    N, P, C = ctx.nodes, ctx.ppn, recvbuf.count
+    leaders = leader_group(ctx)
+    # relocation channel: only root and its leader use it; a constant,
+    # root-scoped tag is safe because p2p matching is FIFO per (src, tag)
+    tag = ("hier-reloc", root)
+
+    root_node = ctx.node_of(root)
+    root_leader = ctx.rank_of(root_node, 0)
+    staging: Optional[Buffer] = None
+    if root != root_leader:
+        # relocate the payload onto the leader
+        if ctx.rank == root:
+            assert sendbuf is not None
+            yield from ctx.send(root_leader, sendbuf, tag=tag)
+        elif ctx.rank == root_leader:
+            staging = ctx.alloc(recvbuf.dtype, N * P * C)
+            yield from ctx.recv(root, staging, tag=tag)
+    elif ctx.rank == root:
+        staging = sendbuf
+
+    if ctx.local_rank == 0:
+        # internode: scatter node blocks among leaders
+        node_block = ctx.alloc(recvbuf.dtype, P * C)
+        yield from leader_scatter(
+            ctx, leaders, staging, node_block, leaders.index_of(root_leader)
+        )
+        # intranode: scatter the node block locally
+        yield from scatter_binomial(ctx, node_group(ctx), node_block, recvbuf, 0)
+    else:
+        yield from scatter_binomial(ctx, node_group(ctx), None, recvbuf, 0)
+
+
+def hier_allgather(
+    ctx: RankCtx,
+    sendbuf: Buffer,
+    recvbuf: Buffer,
+    leader_allgather: Callable,
+) -> ProcGen:
+    """Intranode gather -> leader allgather -> intranode broadcast."""
+    N, P, C = ctx.nodes, ctx.ppn, sendbuf.count
+    ngroup = node_group(ctx)
+
+    if ctx.local_rank == 0:
+        node_block = ctx.alloc(sendbuf.dtype, P * C)
+        yield from gather_binomial(ctx, ngroup, sendbuf, node_block, 0)
+        yield from leader_allgather(ctx, leader_group(ctx), node_block, recvbuf)
+    else:
+        yield from gather_binomial(ctx, ngroup, sendbuf, None, 0)
+    yield from bcast_binomial(ctx, ngroup, recvbuf, 0)
+
+
+def hier_bcast(ctx: RankCtx, buf: Buffer, root: int) -> ProcGen:
+    """Leader-based broadcast: root -> its leader -> leaders -> intranode.
+
+    Non-leader roots forward to their node's leader first (one intranode
+    hop), as production libraries do.
+    """
+    root_node = ctx.node_of(root)
+    root_leader = ctx.rank_of(root_node, 0)
+    tag = ("hier-bcast-reloc", root)
+    if root != root_leader:
+        if ctx.rank == root:
+            yield from ctx.send(root_leader, buf, tag=tag)
+        elif ctx.rank == root_leader:
+            yield from ctx.recv(root, buf, tag=tag)
+    leaders = leader_group(ctx)
+    if ctx.local_rank == 0:
+        yield from bcast_binomial(
+            ctx, leaders, buf, leaders.index_of(root_leader)
+        )
+    yield from bcast_binomial(ctx, node_group(ctx), buf, 0)
+
+
+def hier_reduce(
+    ctx: RankCtx,
+    sendbuf: Buffer,
+    recvbuf: Optional[Buffer],
+    op: ReduceOp,
+    root: int,
+    leader_reduce: Callable = reduce_binomial,
+) -> ProcGen:
+    """Leader-based reduce: intranode reduce -> leader reduce -> deliver.
+
+    The leader reduction targets the root's node leader; a final intranode
+    hop delivers to a non-leader root.
+    """
+    root_node = ctx.node_of(root)
+    root_leader = ctx.rank_of(root_node, 0)
+    leaders = leader_group(ctx)
+    ngroup = node_group(ctx)
+    tag = ("hier-reduce-deliver", root)
+
+    if ctx.local_rank == 0:
+        partial = ctx.alloc(sendbuf.dtype, sendbuf.count)
+        yield from reduce_binomial(ctx, ngroup, sendbuf, partial, op, 0)
+        if ctx.rank == root_leader:
+            result = recvbuf if ctx.rank == root else ctx.alloc(
+                sendbuf.dtype, sendbuf.count
+            )
+            yield from leader_reduce(
+                ctx, leaders, partial, result,
+                op, leaders.index_of(root_leader),
+            )
+            if ctx.rank != root:
+                yield from ctx.send(root, result, tag=tag)
+        else:
+            yield from leader_reduce(
+                ctx, leaders, partial, None, op, leaders.index_of(root_leader)
+            )
+    else:
+        yield from reduce_binomial(ctx, ngroup, sendbuf, None, op, 0)
+        if ctx.rank == root and ctx.rank != root_leader:
+            assert recvbuf is not None
+            yield from ctx.recv(root_leader, recvbuf, tag=tag)
+
+
+def hier_allreduce(
+    ctx: RankCtx,
+    sendbuf: Buffer,
+    recvbuf: Buffer,
+    op: ReduceOp,
+    leader_allreduce: Callable,
+) -> ProcGen:
+    """Intranode reduce -> leader allreduce -> intranode broadcast."""
+    ngroup = node_group(ctx)
+
+    if ctx.local_rank == 0:
+        partial = ctx.alloc(sendbuf.dtype, sendbuf.count)
+        yield from reduce_binomial(ctx, ngroup, sendbuf, partial, op, 0)
+        yield from leader_allreduce(ctx, leader_group(ctx), partial, recvbuf, op)
+    else:
+        yield from reduce_binomial(ctx, ngroup, sendbuf, None, op, 0)
+    yield from bcast_binomial(ctx, ngroup, recvbuf, 0)

@@ -1,0 +1,52 @@
+"""Name-indexed registry of all modelled MPI libraries."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.baselines.base import MpiLibrary
+from repro.baselines.libraries import MVAPICH2, IntelMPI, OpenMPI, PiPMPICH
+from repro.core.mcoll import PiPMColl
+from repro.core.tuning import Thresholds
+
+__all__ = ["LIBRARY_FACTORIES", "make_library", "all_libraries",
+           "library_names"]
+
+
+def _mcoll_small_only() -> PiPMColl:
+    lib = PiPMColl(Thresholds.always_small())
+    lib.name = "PiP-MColl-small"
+    return lib
+
+
+#: factories, not instances: libraries carry per-world state (e.g. XPMEM
+#: attach caches), so every World gets a fresh one
+LIBRARY_FACTORIES: Dict[str, Callable[[], MpiLibrary]] = {
+    "PiP-MColl": PiPMColl,
+    "PiP-MColl-small": _mcoll_small_only,
+    "PiP-MPICH": PiPMPICH,
+    "OpenMPI": OpenMPI,
+    "MVAPICH2": MVAPICH2,
+    "IntelMPI": IntelMPI,
+}
+
+
+def make_library(name: str) -> MpiLibrary:
+    try:
+        return LIBRARY_FACTORIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown library {name!r}; known: {sorted(LIBRARY_FACTORIES)}"
+        ) from None
+
+
+def library_names(include_variants: bool = False) -> List[str]:
+    """The five libraries of the paper's figures (+ the -small variant)."""
+    names = ["PiP-MColl", "PiP-MPICH", "IntelMPI", "OpenMPI", "MVAPICH2"]
+    if include_variants:
+        names.insert(1, "PiP-MColl-small")
+    return names
+
+
+def all_libraries(include_variants: bool = False) -> List[MpiLibrary]:
+    return [make_library(n) for n in library_names(include_variants)]

@@ -1,0 +1,25 @@
+"""Benchmark harness: microbenchmark protocol, figure sweeps, reporting."""
+
+from repro.bench.config import SCALES, BenchScale, current_scale
+from repro.bench.figures import ALL_FIGURES
+from repro.bench.microbench import (
+    COLLECTIVES,
+    MicrobenchResult,
+    paper_iterations,
+    run_point,
+)
+from repro.bench.report import FigureResult, format_normalized, format_table
+
+__all__ = [
+    "SCALES",
+    "BenchScale",
+    "current_scale",
+    "ALL_FIGURES",
+    "COLLECTIVES",
+    "MicrobenchResult",
+    "paper_iterations",
+    "run_point",
+    "FigureResult",
+    "format_normalized",
+    "format_table",
+]

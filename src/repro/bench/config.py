@@ -1,0 +1,63 @@
+"""Benchmark scale presets.
+
+The paper's testbed is 128 nodes x 18 processes = 2304 ranks.  Simulating
+PiP-MColl at that scale is fast, but the *flat* baselines (PiP-MPICH /
+Open MPI) run ring allgathers with ``world - 1`` steps, which costs minutes
+of host time per point.  The default preset therefore runs a reduced scale
+that preserves every structural property the figures depend on:
+
+* ``ppn + 1``-ary round counts: ``ceil(log_7 32) = 2`` rounds at medium
+  scale, exactly like ``ceil(log_19 128) = 2`` at paper scale;
+* the 64 kB algorithm switch points (per-process sizes are unchanged);
+* intra- vs internode cost ratios (same machine parameters).
+
+Select with ``PIPMCOLL_SCALE=small|medium|paper`` (environment variable) —
+``paper`` reproduces the exact evaluation shape of §IV and is what
+EXPERIMENTS.md's recorded runs use where host time permits.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["BenchScale", "SCALES", "current_scale"]
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """One benchmark scale preset."""
+
+    name: str
+    #: fixed cluster shape for the message-size sweeps (Figs. 9-14)
+    nodes: int
+    ppn: int
+    #: node counts for the scalability sweeps (Figs. 6-8)
+    node_sweep: Tuple[int, ...]
+
+    @property
+    def world_size(self) -> int:
+        return self.nodes * self.ppn
+
+
+SCALES = {
+    "small": BenchScale("small", nodes=8, ppn=4, node_sweep=(2, 4, 8)),
+    "medium": BenchScale(
+        "medium", nodes=32, ppn=6, node_sweep=(2, 4, 8, 16, 32)
+    ),
+    "paper": BenchScale(
+        "paper", nodes=128, ppn=18, node_sweep=(2, 4, 8, 16, 32, 64, 128)
+    ),
+}
+
+
+def current_scale() -> BenchScale:
+    """The active preset (``PIPMCOLL_SCALE``, default ``medium``)."""
+    name = os.environ.get("PIPMCOLL_SCALE", "medium").lower()
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"PIPMCOLL_SCALE={name!r} unknown; pick one of {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,164 @@
+"""The microbenchmark protocol of §IV-A, adapted to a deterministic world.
+
+The paper runs a warm-up stage and an execution stage with equal iteration
+counts (10 000 / 1 000 / 100 / 10 by size class) and averages, because
+hardware runs are noisy.  The simulator is deterministic, so one warm-up
+iteration (which absorbs page-fault/attach warm-up exactly like the paper's
+warm-up stage does) and a couple of measured iterations give the same
+answer the full protocol would; :func:`paper_iterations` documents the
+original counts and is exercised by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.baselines.base import MpiLibrary
+from repro.baselines.registry import make_library
+from repro.hw.params import MachineParams, bebop_broadwell
+from repro.hw.topology import Topology
+from repro.mpi.buffer import Buffer
+from repro.mpi.datatypes import SUM
+from repro.mpi.runtime import RankCtx, World
+from repro.sim.engine import ProcGen
+from repro.util.units import KB
+
+__all__ = ["paper_iterations", "MicrobenchResult", "run_point", "COLLECTIVES"]
+
+#: the paper's three primary collectives first, then the extensions
+COLLECTIVES = (
+    "scatter", "allgather", "allreduce", "alltoall", "bcast", "gather",
+    "reduce",
+)
+
+
+def paper_iterations(nbytes: int) -> int:
+    """Iteration counts of §IV-A, by message-size class."""
+    if nbytes < 0:
+        raise ValueError(f"negative message size: {nbytes}")
+    if nbytes <= 1 * KB:
+        return 10_000
+    if nbytes <= 8 * KB:
+        return 1_000
+    if nbytes < 128 * KB:
+        return 100
+    return 10
+
+
+@dataclass(frozen=True)
+class MicrobenchResult:
+    """One measured point."""
+
+    library: str
+    collective: str
+    nodes: int
+    ppn: int
+    msg_bytes: int
+    #: mean simulated seconds per iteration over the execution stage
+    time: float
+    #: per-iteration simulated times (warm-up excluded)
+    samples: Tuple[float, ...]
+    #: total internode messages in the final iteration (diagnostics)
+    internode_messages: int
+
+
+def _make_body(
+    lib: MpiLibrary, world: World, collective: str, nbytes: int
+) -> Callable[[RankCtx], ProcGen]:
+    size = world.world_size
+    if collective == "scatter":
+        sendbuf = Buffer.phantom(nbytes * size)
+        recvs = [Buffer.phantom(nbytes) for _ in range(size)]
+
+        def body(ctx: RankCtx) -> ProcGen:
+            sb = sendbuf if ctx.rank == 0 else None
+            yield from lib.scatter(ctx, sb, recvs[ctx.rank], root=0)
+
+    elif collective == "allgather":
+        sends = [Buffer.phantom(nbytes) for _ in range(size)]
+        recvs = [Buffer.phantom(nbytes * size) for _ in range(size)]
+
+        def body(ctx: RankCtx) -> ProcGen:
+            yield from lib.allgather(ctx, sends[ctx.rank], recvs[ctx.rank])
+
+    elif collective == "allreduce":
+        sends = [Buffer.phantom(nbytes) for _ in range(size)]
+        recvs = [Buffer.phantom(nbytes) for _ in range(size)]
+
+        def body(ctx: RankCtx) -> ProcGen:
+            yield from lib.allreduce(ctx, sends[ctx.rank], recvs[ctx.rank], SUM)
+
+    elif collective == "alltoall":
+        sends = [Buffer.phantom(nbytes * size) for _ in range(size)]
+        recvs = [Buffer.phantom(nbytes * size) for _ in range(size)]
+
+        def body(ctx: RankCtx) -> ProcGen:
+            yield from lib.alltoall(ctx, sends[ctx.rank], recvs[ctx.rank])
+
+    elif collective == "bcast":
+        bufs = [Buffer.phantom(nbytes) for _ in range(size)]
+
+        def body(ctx: RankCtx) -> ProcGen:
+            yield from lib.bcast(ctx, bufs[ctx.rank], root=0)
+
+    elif collective == "gather":
+        sends = [Buffer.phantom(nbytes) for _ in range(size)]
+        recvbuf = Buffer.phantom(nbytes * size)
+
+        def body(ctx: RankCtx) -> ProcGen:
+            rb = recvbuf if ctx.rank == 0 else None
+            yield from lib.gather(ctx, sends[ctx.rank], rb, root=0)
+
+    elif collective == "reduce":
+        sends = [Buffer.phantom(nbytes) for _ in range(size)]
+        recvbuf = Buffer.phantom(nbytes)
+
+        def body(ctx: RankCtx) -> ProcGen:
+            rb = recvbuf if ctx.rank == 0 else None
+            yield from lib.reduce(ctx, sends[ctx.rank], rb, SUM, root=0)
+
+    else:
+        raise ValueError(
+            f"unknown collective {collective!r}; known: {COLLECTIVES}"
+        )
+    return body
+
+
+def run_point(
+    library: str,
+    collective: str,
+    nodes: int,
+    ppn: int,
+    msg_bytes: int,
+    params: Optional[MachineParams] = None,
+    warmup: int = 1,
+    measure: int = 2,
+) -> MicrobenchResult:
+    """Measure one (library, collective, shape, size) point.
+
+    Builds a fresh phantom-data world, runs ``warmup`` unrecorded
+    iterations followed by ``measure`` recorded ones, and returns the mean
+    simulated per-iteration time.
+    """
+    if measure < 1:
+        raise ValueError("need at least one measured iteration")
+    lib = make_library(library)
+    world = lib.make_world(
+        Topology(nodes, ppn), params or bebop_broadwell(), phantom=True
+    )
+    body = _make_body(lib, world, collective, msg_bytes)
+
+    for _ in range(warmup):
+        world.run(body)
+    samples = tuple(world.run(body).elapsed for _ in range(measure))
+    return MicrobenchResult(
+        library=library,
+        collective=collective,
+        nodes=nodes,
+        ppn=ppn,
+        msg_bytes=msg_bytes,
+        time=sum(samples) / len(samples),
+        samples=samples,
+        internode_messages=world.hw.total_internode_messages(),
+    )

@@ -1,0 +1,77 @@
+"""Record figure results to disk — ``python -m repro.bench.record``.
+
+Runs the selected figure experiments at the selected scale and writes both
+the absolute and the normalised tables to a text file (and stdout).  This
+is the tool that produced the measured numbers quoted in EXPERIMENTS.md.
+
+Usage::
+
+    python -m repro.bench.record --figures fig09,fig11 --scale paper \
+        --out results/paper_scale.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.config import SCALES
+from repro.bench.figures import ALL_FIGURES
+from repro.bench.report import format_normalized, format_table
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.record", description=__doc__
+    )
+    parser.add_argument(
+        "--figures",
+        default=",".join(ALL_FIGURES),
+        help=f"comma-separated subset of {', '.join(ALL_FIGURES)}",
+    )
+    parser.add_argument(
+        "--scale", default="medium", choices=sorted(SCALES),
+        help="cluster scale preset (paper = 128x18, the testbed of §IV-A)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="append results to this file as well"
+    )
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale]
+    names = [n.strip() for n in args.figures.split(",") if n.strip()]
+    unknown = [n for n in names if n not in ALL_FIGURES]
+    if unknown:
+        parser.error(f"unknown figures: {unknown}")
+
+    out_path = Path(args.out) if args.out else None
+    if out_path:
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+
+    def emit(text: str) -> None:
+        print(text, flush=True)
+        if out_path:
+            with out_path.open("a") as fh:
+                fh.write(text + "\n")
+
+    for name in names:
+        t0 = time.time()
+        result = ALL_FIGURES[name](scale=scale)
+        wall = time.time() - t0
+        emit(format_table(result))
+        if "PiP-MColl" in result.series:
+            emit(format_normalized(result))
+            emit(
+                f"   best speedup vs fastest other library: "
+                f"{result.best_speedup_vs_fastest_other():.2f}x"
+            )
+        emit(f"   [{name} done in {wall:.1f}s host time]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Run diagnostics: communication and resource statistics for one World.
+
+Answers the questions a performance engineer asks after a run: how many
+messages and bytes crossed the wire (by size class), how busy were the
+NICs and memory systems, how many messages queued as unexpected.  Used by
+the examples and the ablation analysis; also a debugging aid when an
+algorithm moves more data than its cost model says it should.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.mpi.runtime import World
+from repro.util.units import KB, fmt_size
+
+__all__ = [
+    "CommStats",
+    "collect_stats",
+    "format_stats",
+    "size_class_of",
+    "message_histogram",
+]
+
+#: size-class edges for the message histogram (paper's small/medium/large)
+SIZE_CLASSES: Tuple[Tuple[str, int], ...] = (
+    ("<=1kB", 1 * KB),
+    ("<=8kB", 8 * KB),
+    ("<128kB", 128 * KB - 1),
+    (">=128kB", 1 << 62),
+)
+
+
+@dataclass(frozen=True)
+class CommStats:
+    """Aggregated statistics of everything a World has simulated so far."""
+
+    internode_messages: int
+    internode_bytes: int
+    #: per-node (messages, bytes) sent
+    per_node_sent: Tuple[Tuple[int, int], ...]
+    #: busiest / least busy NIC byte counts (load balance indicator)
+    max_node_bytes: int
+    min_node_bytes: int
+    #: messages that arrived before a receive was posted
+    unexpected_messages: int
+    #: per-node memory-lane busy seconds
+    memory_busy: Tuple[float, ...]
+    #: per-node bytes copied / reduced through the memory system
+    memory_bytes_copied: Tuple[int, ...]
+    memory_bytes_reduced: Tuple[int, ...]
+
+    @property
+    def nodes(self) -> int:
+        return len(self.per_node_sent)
+
+    @property
+    def wire_balance(self) -> float:
+        """max/min per-node wire bytes (1.0 = perfectly balanced).
+
+        Infinity when some node sent nothing (e.g. scatter leaves)."""
+        if self.min_node_bytes == 0:
+            return float("inf") if self.max_node_bytes else 1.0
+        return self.max_node_bytes / self.min_node_bytes
+
+
+def collect_stats(world: World) -> CommStats:
+    """Snapshot the accounting counters of ``world``'s hardware."""
+    per_node = tuple(
+        (nic.messages_sent, nic.bytes_sent) for nic in world.hw.nics
+    )
+    byte_counts = [b for _m, b in per_node]
+    return CommStats(
+        internode_messages=world.hw.total_internode_messages(),
+        internode_bytes=world.hw.total_internode_bytes(),
+        per_node_sent=per_node,
+        max_node_bytes=max(byte_counts),
+        min_node_bytes=min(byte_counts),
+        unexpected_messages=world.transport.unexpected_count,
+        memory_busy=tuple(m.lanes.busy_time for m in world.hw.memories),
+        memory_bytes_copied=tuple(m.bytes_copied for m in world.hw.memories),
+        memory_bytes_reduced=tuple(m.bytes_reduced for m in world.hw.memories),
+    )
+
+
+def format_stats(stats: CommStats, title: str = "run statistics") -> str:
+    """Readable multi-line report."""
+    lines = [f"== {title} =="]
+    lines.append(
+        f"internode: {stats.internode_messages} messages, "
+        f"{fmt_size(stats.internode_bytes)} total"
+    )
+    balance = stats.wire_balance
+    balance_text = "inf" if balance == float("inf") else f"{balance:.2f}"
+    lines.append(
+        f"wire balance (max/min node bytes): {balance_text} "
+        f"({fmt_size(stats.max_node_bytes)} / {fmt_size(stats.min_node_bytes)})"
+    )
+    lines.append(f"unexpected messages: {stats.unexpected_messages}")
+    copied = sum(stats.memory_bytes_copied)
+    reduced = sum(stats.memory_bytes_reduced)
+    lines.append(
+        f"memory traffic: {fmt_size(copied)} copied, "
+        f"{fmt_size(reduced)} reduced, "
+        f"{sum(stats.memory_busy) * 1e6:.1f}us lane-busy total"
+    )
+    return "\n".join(lines)
+
+
+def size_class_of(nbytes: int) -> str:
+    """The histogram bucket a message of ``nbytes`` falls into."""
+    for label, limit in SIZE_CLASSES:
+        if nbytes <= limit:
+            return label
+    raise AssertionError("unreachable: last class is unbounded")
+
+
+def message_histogram(sizes: List[int]) -> Dict[str, int]:
+    """Bucket a list of message sizes into the paper's size classes."""
+    hist = {label: 0 for label, _ in SIZE_CLASSES}
+    for nbytes in sizes:
+        hist[size_class_of(nbytes)] += 1
+    return hist

@@ -1,0 +1,45 @@
+"""Multi-object internode barrier (extension).
+
+A dissemination barrier with radix ``P + 1``: after an intranode arrival
+counter, the node's P processes signal nodes at distances
+``(R_l+1) * S_p`` in parallel (zero-byte messages), multiplying the set of
+transitively-arrived nodes by ``P + 1`` per round — ``ceil(log_{P+1} N)``
+internode rounds versus the classical dissemination barrier's
+``ceil(log_2(N*P))``.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.runtime import RankCtx
+from repro.sim.engine import ProcGen
+
+from repro.core.intranode import intra_barrier
+
+__all__ = ["mcoll_barrier"]
+
+
+def mcoll_barrier(ctx: RankCtx) -> ProcGen:
+    """Block until every rank of the world has entered the barrier."""
+    N, P = ctx.nodes, ctx.ppn
+    ns = ctx.next_op_seq()
+    tag = ns
+
+    # local arrival
+    yield from intra_barrier(ctx, (ns, "arrive"))
+    if N == 1:
+        return
+
+    token = ctx.alloc_bytes(0)
+    rnd = 0
+    S = 1
+    while S < N:
+        offset = (ctx.local_rank + 1) * S
+        # full rounds use all P offsets; the final partial round only the
+        # multiples that still land inside the ring
+        if offset < min(S * (P + 1), N):
+            dst = ctx.rank_of((ctx.node + offset) % N, ctx.local_rank)
+            src = ctx.rank_of((ctx.node - offset) % N, ctx.local_rank)
+            yield from ctx.sendrecv(dst, token, src, token, tag=tag)
+        yield from intra_barrier(ctx, (ns, "round", rnd))
+        S *= P + 1
+        rnd += 1

@@ -1,0 +1,78 @@
+"""Multi-object internode MPI_Bcast (extension).
+
+The paper designs intranode auxiliary collectives (§III-C) and the three
+primary internode collectives; a full internode broadcast is the natural
+next routine and composes from the same ingredients, so we provide it as
+an extension: the (P+1)-ary node-group tree of the multi-object scatter
+(§III-A1), except every transfer carries the *whole* payload, and the
+intranode broadcast (each local rank copying out of the shared staging) is
+overlapped with the in-flight internode sends.
+
+Cost: ``ceil(log_{P+1} N)`` internode rounds of ``C_b`` bytes from each of
+up to P senders per data-holding node — versus the binomial tree's
+``ceil(log_2(N*P))`` rounds.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.buffer import Buffer
+from repro.mpi.collectives.group import block_partition
+from repro.mpi.runtime import RankCtx
+from repro.sim.engine import ProcGen
+
+__all__ = ["mcoll_bcast"]
+
+
+def mcoll_bcast(ctx: RankCtx, buf: Buffer, root: int = 0) -> ProcGen:
+    """Broadcast ``root``'s ``buf`` into every rank's ``buf``."""
+    N, P, C = ctx.nodes, ctx.ppn, buf.count
+    ns = ctx.next_op_seq()
+    tag = ns
+    board = ctx.pip.board
+    root_node = ctx.node_of(root)
+    vnode = (ctx.node - root_node) % N
+
+    if ctx.rank == root:
+        # local peers (and this node's senders) read the source directly
+        yield from board.post((ns, "data"), buf)
+
+    data = None
+    copied = ctx.rank == root
+    lo, hi = 0, N
+    while hi - lo > 1:
+        n = hi - lo
+        parts = min(P + 1, n)
+        counts, displs = block_partition(n, parts)
+        if vnode == lo:
+            if data is None:
+                data = yield from board.lookup((ns, "data"))
+            chunk = ctx.local_rank + 1
+            req = None
+            if chunk < parts:
+                dst_v = lo + displs[chunk]
+                dst_rank = ctx.rank_of((root_node + dst_v) % N, 0)
+                req = yield from ctx.isend(dst_rank, data, tag=tag)
+            if not copied:
+                # overlapped intranode broadcast
+                yield from ctx.copy(buf, data)
+                copied = True
+            if req is not None:
+                yield from ctx.wait(req)
+            hi = lo + counts[0]
+        else:
+            rel = vnode - lo
+            chunk = 0
+            while not (displs[chunk] <= rel < displs[chunk] + counts[chunk]):
+                chunk += 1
+            new_lo = lo + displs[chunk]
+            if vnode == new_lo and ctx.local_rank == 0:
+                staging = ctx.alloc(buf.dtype, C)
+                src_rank = ctx.rank_of((root_node + lo) % N, chunk - 1)
+                yield from ctx.recv(src_rank, staging, tag=tag)
+                yield from board.post((ns, "data"), staging)
+            lo, hi = new_lo, new_lo + counts[chunk]
+
+    if not copied:
+        if data is None:
+            data = yield from board.lookup((ns, "data"))
+        yield from ctx.copy(buf, data)

@@ -1,0 +1,59 @@
+"""Multi-object MPI_Gather (extension).
+
+The mirror image of the multi-object scatter's motivation: a gather's
+bottleneck is the root *receiving*.  Here the root node's P processes act
+as P concurrent receive lanes — rank ``(n, l)`` sends its block straight
+to process ``(root_node, l)``, which lands it **directly in the root's
+receive buffer** (posted on the root node's address board; PiP lets any
+local process write it).  No intranode staging at all on the leaf side,
+and the incast is spread over P NIC receive pipelines.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.buffer import Buffer
+from repro.mpi.runtime import RankCtx
+from repro.sim.engine import ProcGen
+
+__all__ = ["mcoll_gather"]
+
+
+def mcoll_gather(
+    ctx: RankCtx, sendbuf: Buffer, recvbuf: Buffer | None, root: int = 0
+) -> ProcGen:
+    """Gather every rank's ``sendbuf`` (``count`` elements) into ``root``'s
+    ``recvbuf`` (``world_size * count``, global-rank order)."""
+    N, P, C = ctx.nodes, ctx.ppn, sendbuf.count
+    ns = ctx.next_op_seq()
+    tag = ns
+    board = ctx.pip.board
+    root_node = ctx.node_of(root)
+
+    if ctx.rank == root:
+        assert recvbuf is not None, "root must supply a receive buffer"
+        if recvbuf.count != N * P * C:
+            raise ValueError(
+                f"recvbuf has {recvbuf.count} elements, need {N * P * C}"
+            )
+        yield from board.post((ns, "dst"), recvbuf)
+
+    if ctx.node == root_node:
+        dst = yield from board.lookup((ns, "dst"))
+        done = ctx.pip.counter((ns, "done"))
+        # my own contribution goes straight in (PiP direct store)
+        yield from ctx.copy(dst.view(ctx.rank * C, C), sendbuf)
+        # lane ctx.local_rank receives from every other node's same-lane rank
+        reqs = []
+        for n in range(N):
+            if n == root_node:
+                continue
+            src = ctx.rank_of(n, ctx.local_rank)
+            block = dst.view((n * P + ctx.local_rank) * C, C)
+            reqs.append(ctx.irecv(src, block, tag=tag))
+        yield from ctx.waitall(reqs)
+        yield from done.add(1)
+        if ctx.rank == root:
+            yield from done.wait_at_least(P)
+    else:
+        # leaf: one message, straight from my send buffer
+        yield from ctx.send(ctx.rank_of(root_node, ctx.local_rank), sendbuf, tag=tag)

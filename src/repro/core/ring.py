@@ -1,0 +1,106 @@
+"""Multi-object internode ring with overlapped intranode broadcast.
+
+This is the communication core shared by the large-message allgather
+(§III-B1, Fig. 4) and the allgather stage of the large-message allreduce
+(§III-B2): ``N - 1`` ring steps over nodes, where each node block is split
+into ``P`` slices and local process ``R_l`` rings slice ``R_l`` — P
+concurrent, fully independent ring lanes per node, all reading/writing the
+local root's staging buffer directly (PiP).
+
+Overlap: while the step-``s`` transfers are in flight, each process copies
+the block completed at step ``s-1`` from the staging buffer into its own
+receive buffer — the "overlapped intranode broadcast" of Fig. 4.  A block
+is complete once all ``P`` lane counters for it have arrived.
+
+Blocks may have heterogeneous sizes (``node_counts``/``node_displs`` in
+elements): uniform ``P*C`` blocks for the plain allgather, ``C/N``-ish
+chunks for the allreduce's gather stage.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.mpi.buffer import Buffer
+from repro.mpi.collectives.group import block_partition
+from repro.mpi.runtime import RankCtx
+from repro.sim.engine import ProcGen
+
+__all__ = ["ring_allgather_blocks"]
+
+
+def ring_allgather_blocks(
+    ctx: RankCtx,
+    ns,
+    staging: Buffer,
+    node_counts: Sequence[int],
+    node_displs: Sequence[int],
+    recvbuf: Buffer,
+    overlap: bool = True,
+) -> ProcGen:
+    """Ring-allgather node blocks through ``staging`` into ``recvbuf``.
+
+    Preconditions: every local rank holds a reference to the node's shared
+    ``staging`` (local root's buffer, absolute node-block order) whose own
+    node block is already complete, and all local ranks have synchronised
+    on that fact.  ``recvbuf`` is this rank's private full-size buffer.
+    """
+    N, P = ctx.nodes, ctx.ppn
+    node = ctx.node
+    lr = ctx.local_rank
+    tag = ns if isinstance(ns, int) else hash(ns) & 0x7FFFFFFF
+
+    def lane(b: int):
+        """(element offset, count) of my lane's slice of block ``b``."""
+        counts, displs = block_partition(node_counts[b], P)
+        return node_displs[b] + displs[lr], counts[lr]
+
+    def block_done(b: int):
+        return ctx.pip.counter((ns, "blk", b))
+
+    # own block is complete by precondition
+    own = node
+    yield from ctx.copy(
+        recvbuf.view(node_displs[own], node_counts[own]),
+        staging.view(node_displs[own], node_counts[own]),
+    )
+    if N == 1:
+        return
+
+    right = ctx.rank_of((node + 1) % N, lr)
+    left = ctx.rank_of((node - 1) % N, lr)
+
+    for step in range(N - 1):
+        send_block = (node - step) % N
+        recv_block = (node - step - 1) % N
+        s_off, s_cnt = lane(send_block)
+        r_off, r_cnt = lane(recv_block)
+        rreq = ctx.irecv(left, staging.view(r_off, r_cnt), tag=tag)
+        sreq = yield from ctx.isend(right, staging.view(s_off, s_cnt), tag=tag)
+
+        if overlap and step > 0:
+            # overlapped intranode broadcast of the block completed last step
+            done_block = (node - step) % N
+            yield from block_done(done_block).wait_at_least(P)
+            yield from ctx.copy(
+                recvbuf.view(node_displs[done_block], node_counts[done_block]),
+                staging.view(node_displs[done_block], node_counts[done_block]),
+            )
+
+        yield from ctx.wait(rreq)
+        yield from ctx.wait(sreq)
+        yield from block_done(recv_block).add(1)
+
+    # drain: everything not yet broadcast intranode (just the final step's
+    # block with overlap on; all N-1 foreign blocks with it off)
+    pending = (
+        [(node + 1) % N]
+        if overlap
+        else [b for b in range(N) if b != node]
+    )
+    for b in pending:
+        yield from block_done(b).wait_at_least(P)
+        yield from ctx.copy(
+            recvbuf.view(node_displs[b], node_counts[b]),
+            staging.view(node_displs[b], node_counts[b]),
+        )

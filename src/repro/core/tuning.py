@@ -1,0 +1,40 @@
+"""Algorithm-selection thresholds for PiP-MColl (§IV-D).
+
+The paper switches the allgather to its large-message algorithm at 64 kB
+per-process message size (Fig. 13) and the allreduce at 8 k double counts,
+i.e. 64 kB (Fig. 14).  The scatter uses one algorithm across all sizes
+(§III-A1 / Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import KB
+
+__all__ = ["Thresholds"]
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Size switch-points, in bytes of per-process message size."""
+
+    #: allgather: small-message Bruck below, multi-object ring at/above
+    allgather_large_bytes: int = 64 * KB
+    #: allreduce: Bruck-with-reduction below, reduce-scatter+ring at/above
+    allreduce_large_bytes: int = 64 * KB
+
+    def __post_init__(self) -> None:
+        if self.allgather_large_bytes < 0 or self.allreduce_large_bytes < 0:
+            raise ValueError("thresholds must be non-negative")
+
+    @classmethod
+    def always_small(cls) -> "Thresholds":
+        """Force the small-message algorithms everywhere (the
+        "PiP-MColl-small" variant of Figs. 13–14)."""
+        return cls(allgather_large_bytes=1 << 62, allreduce_large_bytes=1 << 62)
+
+    @classmethod
+    def always_large(cls) -> "Thresholds":
+        """Force the large-message algorithms everywhere (ablations)."""
+        return cls(allgather_large_bytes=0, allreduce_large_bytes=0)

@@ -1,0 +1,17 @@
+"""Hardware models: machine parameters, topology, NIC, and memory system."""
+
+from repro.hw.cluster import ClusterHW
+from repro.hw.memory import MemoryModel
+from repro.hw.nic import NodeNic
+from repro.hw.params import MachineParams, bebop_broadwell, tiny_test_machine
+from repro.hw.topology import Topology
+
+__all__ = [
+    "ClusterHW",
+    "MemoryModel",
+    "NodeNic",
+    "MachineParams",
+    "bebop_broadwell",
+    "tiny_test_machine",
+    "Topology",
+]

@@ -1,0 +1,94 @@
+"""Per-node memory-system model.
+
+Copies and reductions are the currency of intranode collective work.  The
+node memory system is modelled as ``node_copy_bw / core_copy_bw`` concurrent
+full-speed lanes fed by a FIFO queue (a standard first-order approximation
+of fluid bandwidth sharing): one process copying runs at core speed; more
+than ``lanes`` concurrent copies queue.
+
+Page-fault accounting mirrors how kernel-assisted mechanisms behave: the
+first time a consumer touches a foreign mapping it faults every page; later
+touches of the same region are warm.  The microbenchmark protocol's warm-up
+stage (§IV-A) therefore absorbs fault costs exactly like the real runs do.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Set, Tuple
+
+from repro.hw.params import MachineParams
+from repro.sim.engine import Delay, Engine, ProcGen
+from repro.sim.resources import MultiServer
+
+__all__ = ["MemoryModel"]
+
+
+class MemoryModel:
+    """Memory system of one node."""
+
+    def __init__(self, engine: Engine, params: MachineParams, node: int):
+        self.engine = engine
+        self.params = params
+        self.node = node
+        self.lanes = MultiServer(params.derived_copy_lanes(), name=f"mem[{node}]")
+        self._warmed: Set[Hashable] = set()
+        #: bytes copied / reduced (accounting for reports and tests)
+        self.bytes_copied = 0
+        self.bytes_reduced = 0
+
+    # -- cost arithmetic (no simulated blocking) --------------------------
+
+    def copy_service(self, nbytes: int) -> float:
+        """Lane occupancy for copying ``nbytes`` at core speed."""
+        return nbytes / self.params.core_copy_bw
+
+    def reduce_service(self, nbytes: int) -> float:
+        """Lane occupancy for reducing ``nbytes`` (read+op+write streams)."""
+        return nbytes / self.params.reduce_bw
+
+    def fault_cost(self, region: Hashable, nbytes: int) -> float:
+        """Page-fault cost for touching ``region``; warm after first touch.
+
+        ``region`` identifies (consumer, mapped buffer) — the fault happens
+        in the page table of the process doing the touching.
+        """
+        if nbytes == 0 or region in self._warmed:
+            return 0.0
+        self._warmed.add(region)
+        pages = -(-nbytes // self.params.page_size)
+        return pages * self.params.page_fault_time
+
+    def forget_warm_state(self) -> None:
+        """Drop page-fault warm state (used between benchmark repetitions)."""
+        self._warmed.clear()
+
+    # -- blocking operations (yield from these inside a process) ----------
+
+    def copy(self, nbytes: int, extra_fixed: float = 0.0) -> ProcGen:
+        """Block the calling process for one ``nbytes`` copy.
+
+        The per-byte part contends for memory lanes; ``copy_latency`` and
+        ``extra_fixed`` (syscalls, faults, handshakes) are charged to the
+        process without occupying a lane.
+        """
+        now = self.engine.now
+        blocked = self.params.copy_latency + extra_fixed
+        if nbytes > 0:
+            _, end = self.lanes.reserve(now, self.copy_service(nbytes))
+            blocked += end - now
+            self.bytes_copied += nbytes
+        yield Delay(blocked)
+
+    def reduce(self, nbytes: int, extra_fixed: float = 0.0) -> ProcGen:
+        """Block the calling process for one ``nbytes`` reduction."""
+        now = self.engine.now
+        blocked = self.params.copy_latency + extra_fixed
+        if nbytes > 0:
+            _, end = self.lanes.reserve(now, self.reduce_service(nbytes))
+            blocked += end - now
+            self.bytes_reduced += nbytes
+        yield Delay(blocked)
+
+    def utilisation(self) -> Tuple[float, int]:
+        """(total lane-busy seconds, operations served)."""
+        return self.lanes.busy_time, self.lanes.served

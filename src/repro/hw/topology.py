@@ -1,0 +1,73 @@
+"""Cluster topology: nodes × processes-per-node, rank mapping.
+
+The paper launches ranks block-mapped: global rank = node_id * ppn +
+local_rank.  All algorithms in this repository assume that mapping (it is
+what makes the "paired process rank is ``N_src * P + R_l``" arithmetic in
+§III work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = ["Topology"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A flat cluster of ``nodes`` nodes with ``ppn`` processes each."""
+
+    nodes: int
+    ppn: int
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"need at least one node, got {self.nodes}")
+        if self.ppn < 1:
+            raise ValueError(f"need at least one process per node, got {self.ppn}")
+
+    @property
+    def world_size(self) -> int:
+        return self.nodes * self.ppn
+
+    def node_of(self, rank: int) -> int:
+        self._check_rank(rank)
+        return rank // self.ppn
+
+    def local_rank_of(self, rank: int) -> int:
+        self._check_rank(rank)
+        return rank % self.ppn
+
+    def rank_of(self, node: int, local_rank: int) -> int:
+        if not 0 <= node < self.nodes:
+            raise ValueError(f"node {node} out of range [0, {self.nodes})")
+        if not 0 <= local_rank < self.ppn:
+            raise ValueError(f"local rank {local_rank} out of range [0, {self.ppn})")
+        return node * self.ppn + local_rank
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def node_ranks(self, node: int) -> range:
+        """Global ranks living on ``node`` (contiguous by block mapping)."""
+        if not 0 <= node < self.nodes:
+            raise ValueError(f"node {node} out of range [0, {self.nodes})")
+        return range(node * self.ppn, (node + 1) * self.ppn)
+
+    def ranks(self) -> Iterator[int]:
+        return iter(range(self.world_size))
+
+    def locate(self, rank: int) -> Tuple[int, int]:
+        """``(node, local_rank)`` of a global rank."""
+        self._check_rank(rank)
+        return divmod(rank, self.ppn)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(
+                f"rank {rank} out of range [0, {self.world_size})"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.nodes}x{self.ppn}"

@@ -1,0 +1,23 @@
+"""Analytic cost models from §III (extended Hockney)."""
+
+from repro.models.formulas import (
+    allgather_large_time,
+    allgather_small_time,
+    allreduce_large_time,
+    allreduce_small_time,
+    scatter_time,
+)
+from repro.models.fitting import FittedLine, fit_p2p, measure_p2p_times
+from repro.models.hockney import HockneyParams
+
+__all__ = [
+    "allgather_large_time",
+    "allgather_small_time",
+    "allreduce_large_time",
+    "allreduce_small_time",
+    "scatter_time",
+    "HockneyParams",
+    "FittedLine",
+    "fit_p2p",
+    "measure_p2p_times",
+]

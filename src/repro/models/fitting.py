@@ -1,0 +1,89 @@
+"""Fit Hockney parameters from simulated measurements.
+
+The classic way to parameterise ``a + M*b`` is a ping sweep and a linear
+fit; doing the same against the *simulator* closes the validation loop:
+the fitted latency/bandwidth must come back as the machine constants the
+model was built from.  Exposed both as a library (used by the test suite)
+and for notebook-style exploration of parameter changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.hw.params import MachineParams, bebop_broadwell
+from repro.hw.topology import Topology
+from repro.mpi.buffer import Buffer
+from repro.mpi.runtime import World
+from repro.shmem.mechanisms import PipShmem
+from repro.util.units import KB
+
+__all__ = ["FittedLine", "measure_p2p_times", "fit_p2p"]
+
+#: default sizes for the eager-path fit: large enough that the per-message
+#: injection gap is amortised (the pipelined transfer is bandwidth-paced),
+#: small enough to stay below the rendezvous switch
+DEFAULT_SIZES = tuple(1 << k for k in range(12, 16))  # 4 kB .. 32 kB
+
+
+@dataclass(frozen=True)
+class FittedLine:
+    """Least-squares fit of ``t = alpha + beta * nbytes``."""
+
+    alpha: float
+    beta: float
+    #: coefficient of determination of the fit
+    r_squared: float
+
+    @property
+    def bandwidth(self) -> float:
+        """Fitted stream bandwidth, bytes/s."""
+        return 1.0 / self.beta
+
+
+def measure_p2p_times(
+    params: Optional[MachineParams] = None,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+) -> list[tuple[int, float]]:
+    """One-way internode transfer time per size (fresh world per point)."""
+    params = params or bebop_broadwell()
+    out = []
+    for nbytes in sizes:
+        world = World(
+            Topology(2, 1), params, mechanism=PipShmem(), phantom=True
+        )
+        send = Buffer.phantom(nbytes)
+        recv = Buffer.phantom(nbytes)
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, send, tag=0)
+            else:
+                yield from ctx.recv(0, recv, tag=0)
+
+        out.append((nbytes, world.run(body).elapsed))
+    return out
+
+
+def fit_p2p(
+    params: Optional[MachineParams] = None,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+) -> FittedLine:
+    """Fit the Hockney line to simulated internode pings.
+
+    The default sizes sit in the bandwidth-paced regime, so the intercept
+    is the fixed software + wire overhead (send/recv overheads plus wire
+    latency) and the slope is the slowest pipeline stage's inverse
+    bandwidth — the eager path's per-process copy bandwidth."""
+    points = measure_p2p_times(params, sizes)
+    x = np.array([n for n, _ in points], dtype=float)
+    y = np.array([t for _, t in points], dtype=float)
+    beta, alpha = np.polyfit(x, y, 1)
+    pred = alpha + beta * x
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot else 1.0
+    return FittedLine(alpha=float(alpha), beta=float(beta), r_squared=r2)

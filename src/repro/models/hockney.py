@@ -1,0 +1,51 @@
+"""Extended Hockney model parameters (§III).
+
+The paper analyses every algorithm with an extension of the Hockney model
+``a + M*b``:
+
+=========  =============================================  =================
+symbol     meaning                                        derived here from
+=========  =============================================  =================
+``a_r``    intranode start-up latency per operation       ``copy_latency`` + one PiP flag
+``a_e``    internode start-up latency per message         send/recv overhead + injection gap + wire latency
+``b_r``    intranode transmission time per byte           ``1 / core_copy_bw``
+``b_e``    internode transmission time per byte           ``1 / nic_bandwidth``
+``gamma``  reduction time per byte                        ``1 / reduce_bw``
+=========  =============================================  =================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.params import MachineParams
+
+__all__ = ["HockneyParams"]
+
+
+@dataclass(frozen=True)
+class HockneyParams:
+    """The five scalars of the paper's cost model."""
+
+    a_r: float
+    a_e: float
+    b_r: float
+    b_e: float
+    gamma: float
+
+    @classmethod
+    def from_machine(cls, p: MachineParams) -> "HockneyParams":
+        return cls(
+            a_r=p.copy_latency + p.pip_flag_time,
+            a_e=p.send_overhead
+            + 1.0 / p.proc_msg_rate
+            + p.wire_latency
+            + p.recv_overhead,
+            b_r=1.0 / p.core_copy_bw,
+            b_e=1.0 / p.nic_bandwidth,
+            gamma=1.0 / p.reduce_bw,
+        )
+
+    def p2p_time(self, nbytes: int) -> float:
+        """Plain Hockney point-to-point estimate."""
+        return self.a_e + nbytes * self.b_e

@@ -1,0 +1,41 @@
+"""Simulated MPI runtime: buffers, datatypes, p2p transport, world."""
+
+from repro.mpi.buffer import Buffer, BufferError
+from repro.mpi.datatypes import (
+    BYTE,
+    DOUBLE,
+    FLOAT32,
+    INT32,
+    INT64,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    DataType,
+    ReduceOp,
+)
+from repro.mpi.request import Request
+from repro.mpi.runtime import RankCtx, RunResult, World
+from repro.mpi.transport import Message, Transport
+
+__all__ = [
+    "Buffer",
+    "BufferError",
+    "BYTE",
+    "DOUBLE",
+    "FLOAT32",
+    "INT32",
+    "INT64",
+    "MAX",
+    "MIN",
+    "PROD",
+    "SUM",
+    "DataType",
+    "ReduceOp",
+    "Request",
+    "RankCtx",
+    "RunResult",
+    "World",
+    "Message",
+    "Transport",
+]

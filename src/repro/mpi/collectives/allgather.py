@@ -1,0 +1,132 @@
+"""Allgather algorithms: Bruck, recursive doubling, ring.
+
+These are the three classical choices the paper names (§III-A2): Bruck for
+small non-power-of-two, recursive doubling for small power-of-two, ring for
+large messages.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.buffer import Buffer
+from repro.mpi.collectives.group import Group
+from repro.mpi.runtime import RankCtx
+from repro.sim.engine import ProcGen
+from repro.util.intmath import is_power_of
+
+__all__ = ["allgather_bruck", "allgather_recursive_doubling", "allgather_ring"]
+
+
+def allgather_bruck(
+    ctx: RankCtx, group: Group, sendbuf: Buffer, recvbuf: Buffer
+) -> ProcGen:
+    """Bruck allgather: ``ceil(log2 size)`` rounds, any group size.
+
+    Blocks accumulate in *relative* order (my own block first), doubling
+    per round, with a final rotation into absolute order.
+    """
+    size = group.size
+    me = group.index_of(ctx.rank)
+    tag = ctx.collective_tag(group)
+    count = sendbuf.count
+    if recvbuf.count != size * count:
+        raise ValueError(
+            f"recvbuf has {recvbuf.count} elements, need {size * count}"
+        )
+
+    if size == 1:
+        yield from ctx.copy(recvbuf, sendbuf)
+        return
+
+    staging = ctx.alloc(sendbuf.dtype, size * count)
+    yield from ctx.copy(staging.view(0, count), sendbuf)
+
+    pof = 1
+    while pof < size:
+        blocks = min(pof, size - pof)
+        dst = group.rank_at((me - pof) % size)
+        src = group.rank_at((me + pof) % size)
+        rreq = ctx.irecv(src, staging.view(pof * count, blocks * count), tag=tag)
+        sreq = yield from ctx.isend(dst, staging.view(0, blocks * count), tag=tag)
+        yield from ctx.wait(rreq)
+        yield from ctx.wait(sreq)
+        pof <<= 1
+
+    # staging block j holds rank (me + j) % size's data; rotate so that
+    # recvbuf block i holds group index i's data
+    head = size - me
+    yield from ctx.copy(
+        recvbuf.view(me * count, head * count), staging.view(0, head * count)
+    )
+    if me:
+        yield from ctx.copy(
+            recvbuf.view(0, me * count), staging.view(head * count, me * count)
+        )
+
+
+def allgather_recursive_doubling(
+    ctx: RankCtx, group: Group, sendbuf: Buffer, recvbuf: Buffer
+) -> ProcGen:
+    """Recursive-doubling allgather (power-of-two group sizes only)."""
+    size = group.size
+    if not is_power_of(2, size):
+        raise ValueError(f"recursive doubling needs a power-of-two size, got {size}")
+    me = group.index_of(ctx.rank)
+    tag = ctx.collective_tag(group)
+    count = sendbuf.count
+    if recvbuf.count != size * count:
+        raise ValueError(
+            f"recvbuf has {recvbuf.count} elements, need {size * count}"
+        )
+
+    yield from ctx.copy(recvbuf.view(me * count, count), sendbuf)
+
+    mask = 1
+    while mask < size:
+        partner = me ^ mask
+        base = (me // mask) * mask
+        pbase = (partner // mask) * mask
+        dst = group.rank_at(partner)
+        rreq = ctx.irecv(
+            dst, recvbuf.view(pbase * count, mask * count), tag=tag
+        )
+        sreq = yield from ctx.isend(
+            dst, recvbuf.view(base * count, mask * count), tag=tag
+        )
+        yield from ctx.wait(rreq)
+        yield from ctx.wait(sreq)
+        mask <<= 1
+
+
+def allgather_ring(
+    ctx: RankCtx, group: Group, sendbuf: Buffer, recvbuf: Buffer
+) -> ProcGen:
+    """Ring allgather: ``size - 1`` rounds of neighbour exchange.
+
+    Bandwidth-optimal total traffic; the classical large-message choice.
+    """
+    size = group.size
+    me = group.index_of(ctx.rank)
+    tag = ctx.collective_tag(group)
+    count = sendbuf.count
+    if recvbuf.count != size * count:
+        raise ValueError(
+            f"recvbuf has {recvbuf.count} elements, need {size * count}"
+        )
+
+    yield from ctx.copy(recvbuf.view(me * count, count), sendbuf)
+    if size == 1:
+        return
+
+    right = group.rank_at((me + 1) % size)
+    left = group.rank_at((me - 1) % size)
+    for step in range(size - 1):
+        send_block = (me - step) % size
+        recv_block = (me - step - 1) % size
+        rreq = ctx.irecv(
+            left, recvbuf.view(recv_block * count, count), tag=tag
+        )
+        sreq = yield from ctx.isend(
+            right, recvbuf.view(send_block * count, count), tag=tag
+        )
+        yield from ctx.wait(rreq)
+        yield from ctx.wait(sreq)

@@ -1,0 +1,168 @@
+"""Allreduce algorithms: recursive doubling and Rabenseifner.
+
+Recursive doubling is MPICH's small-message default; Rabenseifner's
+reduce-scatter + allgather is the large-message default the paper's §III-B2
+contrasts against.  Both handle non-power-of-two sizes with the standard
+fold: the first ``2*rem`` ranks pair up, odd ranks absorb their even
+neighbour's data and join the power-of-two core, and results are copied
+back at the end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.mpi.buffer import Buffer
+from repro.mpi.collectives.group import Group, block_partition
+from repro.mpi.datatypes import ReduceOp
+from repro.mpi.runtime import RankCtx
+from repro.sim.engine import ProcGen
+
+__all__ = ["allreduce_recursive_doubling", "allreduce_rabenseifner"]
+
+
+def _fold_in(
+    ctx: RankCtx, group: Group, me: int, rem: int, acc: Buffer, tmp: Buffer,
+    op: ReduceOp, tag: int,
+) -> ProcGen:
+    """Pre-step: collapse to a power-of-two set.  Returns my new rank or -1."""
+    if me < 2 * rem:
+        if me % 2 == 0:
+            yield from ctx.send(group.rank_at(me + 1), acc, tag=tag)
+            return -1
+        yield from ctx.recv(group.rank_at(me - 1), tmp, tag=tag)
+        yield from ctx.reduce_into(acc, tmp, op)
+        return me // 2
+    return me - rem
+
+
+def _fold_out(
+    ctx: RankCtx, group: Group, me: int, rem: int, acc: Buffer, tag: int
+) -> ProcGen:
+    """Post-step: odd ranks return the final result to their even partner."""
+    if me < 2 * rem:
+        if me % 2 == 0:
+            yield from ctx.recv(group.rank_at(me + 1), acc, tag=tag)
+        else:
+            yield from ctx.send(group.rank_at(me - 1), acc, tag=tag)
+
+
+def _core_to_group(newrank: int, rem: int) -> int:
+    """Map a power-of-two core rank back to its group index."""
+    return newrank * 2 + 1 if newrank < rem else newrank + rem
+
+
+def allreduce_recursive_doubling(
+    ctx: RankCtx,
+    group: Group,
+    sendbuf: Buffer,
+    recvbuf: Buffer,
+    op: ReduceOp,
+) -> ProcGen:
+    """Recursive-doubling allreduce: ``log2`` rounds of full-buffer
+    exchanges, latency-optimal for small messages."""
+    size = group.size
+    me = group.index_of(ctx.rank)
+    tag = ctx.collective_tag(group)
+    count = sendbuf.count
+
+    yield from ctx.copy(recvbuf, sendbuf)
+    if size == 1:
+        return
+    tmp = ctx.alloc(sendbuf.dtype, count)
+
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    rem = size - pof2
+
+    newrank = yield from _fold_in(ctx, group, me, rem, recvbuf, tmp, op, tag)
+    if newrank != -1:
+        mask = 1
+        while mask < pof2:
+            partner = group.rank_at(_core_to_group(newrank ^ mask, rem))
+            yield from ctx.sendrecv(partner, recvbuf, partner, tmp, tag=tag)
+            yield from ctx.reduce_into(recvbuf, tmp, op)
+            mask <<= 1
+    yield from _fold_out(ctx, group, me, rem, recvbuf, tag)
+
+
+def allreduce_rabenseifner(
+    ctx: RankCtx,
+    group: Group,
+    sendbuf: Buffer,
+    recvbuf: Buffer,
+    op: ReduceOp,
+) -> ProcGen:
+    """Rabenseifner's allreduce: recursive-halving reduce-scatter followed
+    by recursive-doubling allgather — bandwidth-optimal for large messages.
+    """
+    size = group.size
+    me = group.index_of(ctx.rank)
+    tag = ctx.collective_tag(group)
+    count = sendbuf.count
+
+    yield from ctx.copy(recvbuf, sendbuf)
+    if size == 1:
+        return
+    tmp = ctx.alloc(sendbuf.dtype, count)
+
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    rem = size - pof2
+
+    newrank = yield from _fold_in(ctx, group, me, rem, recvbuf, tmp, op, tag)
+    if newrank != -1:
+        counts, displs = block_partition(count, pof2)
+
+        def block_range(lo: int, hi: int) -> Tuple[int, int]:
+            """(element offset, element count) covering blocks [lo, hi)."""
+            off = displs[lo]
+            end = displs[hi - 1] + counts[hi - 1]
+            return off, end - off
+
+        # --- reduce-scatter by recursive halving ---------------------------
+        lo, hi = 0, pof2
+        mask = pof2 >> 1
+        while mask > 0:
+            half = (hi - lo) // 2
+            mid = lo + half
+            partner = group.rank_at(_core_to_group(newrank ^ half, rem))
+            if newrank < mid:
+                send_lo, send_hi = mid, hi
+                keep_lo, keep_hi = lo, mid
+            else:
+                send_lo, send_hi = lo, mid
+                keep_lo, keep_hi = mid, hi
+            s_off, s_cnt = block_range(send_lo, send_hi)
+            k_off, k_cnt = block_range(keep_lo, keep_hi)
+            rreq = ctx.irecv(partner, tmp.view(k_off, k_cnt), tag=tag)
+            sreq = yield from ctx.isend(partner, recvbuf.view(s_off, s_cnt), tag=tag)
+            yield from ctx.wait(rreq)
+            yield from ctx.wait(sreq)
+            yield from ctx.reduce_into(
+                recvbuf.view(k_off, k_cnt), tmp.view(k_off, k_cnt), op
+            )
+            lo, hi = keep_lo, keep_hi
+            mask >>= 1
+        assert (lo, hi) == (newrank, newrank + 1)
+
+        # --- allgather by recursive doubling --------------------------------
+        length = 1
+        while length < pof2:
+            partner_new = newrank ^ length
+            partner = group.rank_at(_core_to_group(partner_new, rem))
+            plo = (partner_new // length) * length
+            phi = plo + length
+            s_off, s_cnt = block_range(lo, hi)
+            p_off, p_cnt = block_range(plo, phi)
+            rreq = ctx.irecv(partner, recvbuf.view(p_off, p_cnt), tag=tag)
+            sreq = yield from ctx.isend(partner, recvbuf.view(s_off, s_cnt), tag=tag)
+            yield from ctx.wait(rreq)
+            yield from ctx.wait(sreq)
+            lo, hi = min(lo, plo), max(hi, phi)
+            length *= 2
+        assert (lo, hi) == (0, pof2)
+
+    yield from _fold_out(ctx, group, me, rem, recvbuf, tag)

@@ -1,0 +1,26 @@
+"""Dissemination barrier (MPICH default)."""
+
+from __future__ import annotations
+
+from repro.mpi.collectives.group import Group
+from repro.mpi.runtime import RankCtx
+from repro.sim.engine import ProcGen
+
+__all__ = ["barrier_dissemination"]
+
+
+def barrier_dissemination(ctx: RankCtx, group: Group) -> ProcGen:
+    """``ceil(log2 size)`` rounds of zero-byte token exchanges."""
+    size = group.size
+    me = group.index_of(ctx.rank)
+    tag = ctx.collective_tag(group)
+    if size == 1:
+        return
+
+    token = ctx.alloc_bytes(0)
+    mask = 1
+    while mask < size:
+        dst = group.rank_at((me + mask) % size)
+        src = group.rank_at((me - mask) % size)
+        yield from ctx.sendrecv(dst, token, src, token, tag=tag)
+        mask <<= 1

@@ -1,0 +1,44 @@
+"""Broadcast algorithms (MPICH-style binomial tree)."""
+
+from __future__ import annotations
+
+from repro.mpi.buffer import Buffer
+from repro.mpi.collectives.group import Group
+from repro.mpi.runtime import RankCtx
+from repro.sim.engine import ProcGen
+
+__all__ = ["bcast_binomial"]
+
+
+def bcast_binomial(
+    ctx: RankCtx, group: Group, buf: Buffer, root_index: int = 0
+) -> ProcGen:
+    """Binomial-tree broadcast of ``buf`` from ``group[root_index]``.
+
+    The classic MPICH small-message broadcast: ``ceil(log2 size)`` rounds,
+    each data holder forwarding to a rank ``mask`` away in relative-rank
+    space.
+    """
+    size = group.size
+    me = group.index_of(ctx.rank)
+    tag = ctx.collective_tag(group)
+    if size == 1:
+        return
+
+    relrank = (me - root_index) % size
+
+    # receive from parent
+    mask = 1
+    while mask < size:
+        if relrank & mask:
+            src = group.rank_at((relrank - mask + root_index) % size)
+            yield from ctx.recv(src, buf, tag=tag)
+            break
+        mask <<= 1
+    # forward to children, highest subtree first
+    mask >>= 1
+    while mask > 0:
+        if relrank + mask < size:
+            dst = group.rank_at((relrank + mask + root_index) % size)
+            yield from ctx.send(dst, buf, tag=tag)
+        mask >>= 1

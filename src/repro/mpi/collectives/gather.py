@@ -1,0 +1,72 @@
+"""Gather algorithms (MPICH-style binomial tree)."""
+
+from __future__ import annotations
+
+from repro.mpi.buffer import Buffer
+from repro.mpi.collectives.group import Group
+from repro.mpi.runtime import RankCtx
+from repro.sim.engine import ProcGen
+
+__all__ = ["gather_binomial"]
+
+
+def gather_binomial(
+    ctx: RankCtx,
+    group: Group,
+    sendbuf: Buffer,
+    recvbuf: Buffer | None,
+    root_index: int = 0,
+) -> ProcGen:
+    """Binomial-tree gather: every rank's ``sendbuf`` (``count`` elements)
+    lands in the root's ``recvbuf`` ordered by group index."""
+    size = group.size
+    me = group.index_of(ctx.rank)
+    tag = ctx.collective_tag(group)
+    count = sendbuf.count
+
+    if size == 1:
+        assert recvbuf is not None
+        yield from ctx.copy(recvbuf.view(0, count), sendbuf)
+        return
+
+    relrank = (me - root_index) % size
+
+    # staging accumulates my subtree's blocks in relative order
+    mask = 1
+    while not (relrank & mask) and mask < size:
+        mask <<= 1
+    my_blocks = min(mask, size - relrank) if relrank else size
+    staging = ctx.alloc(sendbuf.dtype, my_blocks * count)
+    yield from ctx.copy(staging.view(0, count), sendbuf)
+
+    # collect from children, smallest subtree first (mirror of scatter)
+    submask = 1
+    while submask < (mask if relrank else size):
+        child_rel = relrank + submask
+        if child_rel < size:
+            child_blocks = min(submask, size - child_rel)
+            src = group.rank_at((child_rel + root_index) % size)
+            yield from ctx.recv(
+                src, staging.view(submask * count, child_blocks * count), tag=tag
+            )
+        submask <<= 1
+
+    if relrank != 0:
+        parent = group.rank_at((relrank - mask + root_index) % size)
+        yield from ctx.send(parent, staging, tag=tag)
+        return
+
+    # root: staging holds blocks in relative order; rotate into recvbuf
+    assert recvbuf is not None
+    if root_index == 0:
+        yield from ctx.copy(recvbuf, staging)
+    else:
+        head = size - root_index
+        yield from ctx.copy(
+            recvbuf.view(root_index * count, head * count),
+            staging.view(0, head * count),
+        )
+        yield from ctx.copy(
+            recvbuf.view(0, root_index * count),
+            staging.view(head * count, root_index * count),
+        )

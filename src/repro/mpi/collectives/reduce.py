@@ -1,0 +1,55 @@
+"""Reduce algorithms (MPICH-style binomial tree, commutative ops)."""
+
+from __future__ import annotations
+
+from repro.mpi.buffer import Buffer
+from repro.mpi.collectives.group import Group
+from repro.mpi.datatypes import ReduceOp
+from repro.mpi.runtime import RankCtx
+from repro.sim.engine import ProcGen
+
+__all__ = ["reduce_binomial"]
+
+
+def reduce_binomial(
+    ctx: RankCtx,
+    group: Group,
+    sendbuf: Buffer,
+    recvbuf: Buffer | None,
+    op: ReduceOp,
+    root_index: int = 0,
+) -> ProcGen:
+    """Binomial-tree reduction into ``group[root_index]``'s ``recvbuf``."""
+    size = group.size
+    me = group.index_of(ctx.rank)
+    tag = ctx.collective_tag(group)
+    count = sendbuf.count
+
+    if size == 1:
+        assert recvbuf is not None
+        yield from ctx.copy(recvbuf, sendbuf)
+        return
+
+    relrank = (me - root_index) % size
+
+    # accumulate into recvbuf at the root, a scratch buffer elsewhere
+    if relrank == 0:
+        assert recvbuf is not None, "root must supply a receive buffer"
+        acc = recvbuf
+    else:
+        acc = ctx.alloc(sendbuf.dtype, count)
+    yield from ctx.copy(acc, sendbuf)
+    tmp = ctx.alloc(sendbuf.dtype, count)
+
+    mask = 1
+    while mask < size:
+        if relrank & mask:
+            dst = group.rank_at((relrank - mask + root_index) % size)
+            yield from ctx.send(dst, acc, tag=tag)
+            return
+        src_rel = relrank | mask
+        if src_rel < size:
+            src = group.rank_at((src_rel + root_index) % size)
+            yield from ctx.recv(src, tmp, tag=tag)
+            yield from ctx.reduce_into(acc, tmp, op)
+        mask <<= 1

@@ -1,0 +1,89 @@
+"""Scatter algorithms (MPICH-style binomial tree).
+
+The conventional algorithm the paper contrasts PiP-MColl against
+(§III-A1): one sender/receiver pair per tree edge, ``ceil(log2 size)``
+rounds, each holder forwarding the portion of data its subtree needs.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.buffer import Buffer
+from repro.mpi.collectives.group import Group
+from repro.mpi.runtime import RankCtx
+from repro.sim.engine import ProcGen
+
+__all__ = ["scatter_binomial"]
+
+
+def scatter_binomial(
+    ctx: RankCtx,
+    group: Group,
+    sendbuf: Buffer | None,
+    recvbuf: Buffer,
+    root_index: int = 0,
+) -> ProcGen:
+    """Binomial-tree scatter: ``sendbuf`` (root only, ``size * count``
+    elements, ordered by group index) is split into per-rank blocks of
+    ``recvbuf.count`` elements."""
+    size = group.size
+    me = group.index_of(ctx.rank)
+    tag = ctx.collective_tag(group)
+    count = recvbuf.count
+
+    if size == 1:
+        assert sendbuf is not None
+        yield from ctx.copy(recvbuf, sendbuf.view(0, count))
+        return
+
+    relrank = (me - root_index) % size
+
+    # staging buffer holds blocks for my whole subtree, in relative order
+    if relrank == 0:
+        assert sendbuf is not None, "root must supply a send buffer"
+        if root_index == 0:
+            staging = sendbuf
+        else:
+            # rotate into relative-rank order (one extra root-side copy,
+            # exactly as MPICH pays for non-zero roots)
+            staging = ctx.alloc(sendbuf.dtype, size * count)
+            head = size - root_index
+            yield from ctx.copy(
+                staging.view(0, head * count),
+                sendbuf.view(root_index * count, head * count),
+            )
+            yield from ctx.copy(
+                staging.view(head * count, root_index * count),
+                sendbuf.view(0, root_index * count),
+            )
+        my_blocks = size
+    else:
+        # receive my subtree's data from my parent
+        mask = 1
+        while not (relrank & mask):
+            mask <<= 1
+        my_blocks = min(mask, size - relrank)
+        staging = ctx.alloc(recvbuf.dtype, my_blocks * count)
+        parent = group.rank_at((relrank - mask + root_index) % size)
+        yield from ctx.recv(parent, staging, tag=tag)
+        mask >>= 1
+
+    if relrank == 0:
+        # root: find the top of its forwarding mask
+        mask = 1
+        while mask < size:
+            mask <<= 1
+        mask >>= 1
+
+    # forward sub-blocks to children, largest subtree first
+    while mask > 0:
+        child_rel = relrank + mask
+        if child_rel < size:
+            child_blocks = min(mask, size - child_rel)
+            dst = group.rank_at((child_rel + root_index) % size)
+            yield from ctx.send(
+                dst, staging.view(mask * count, child_blocks * count), tag=tag
+            )
+        mask >>= 1
+
+    # my own block is the first block of my staging range
+    yield from ctx.copy(recvbuf, staging.view(0, count))

@@ -1,0 +1,142 @@
+"""Vector (v-) collectives: per-rank counts and displacements.
+
+MPI's scatterv/gatherv default to *linear* algorithms in production
+libraries (the irregular counts defeat tree packing); allgatherv uses the
+ring with per-rank block sizes.  Zero counts are legal (a rank may
+contribute or receive nothing).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.mpi.buffer import Buffer
+from repro.mpi.collectives.group import Group
+from repro.mpi.runtime import RankCtx
+from repro.sim.engine import ProcGen
+
+__all__ = ["scatterv_linear", "gatherv_linear", "allgatherv_ring"]
+
+
+def _check_layout(counts: Sequence[int], displs: Sequence[int], size: int) -> None:
+    if len(counts) != size or len(displs) != size:
+        raise ValueError(
+            f"counts/displs must have one entry per rank "
+            f"({len(counts)}/{len(displs)} given for {size} ranks)"
+        )
+    if any(c < 0 for c in counts):
+        raise ValueError(f"negative count in {counts}")
+
+
+def scatterv_linear(
+    ctx: RankCtx,
+    group: Group,
+    sendbuf: Optional[Buffer],
+    counts: Sequence[int],
+    displs: Sequence[int],
+    recvbuf: Buffer,
+    root_index: int = 0,
+) -> ProcGen:
+    """Linear scatterv: the root sends each rank its
+    ``counts[i]``-element slice at ``displs[i]`` (element offsets)."""
+    size = group.size
+    me = group.index_of(ctx.rank)
+    tag = ctx.collective_tag(group)
+    _check_layout(counts, displs, size)
+    if recvbuf.count != counts[me]:
+        raise ValueError(
+            f"recvbuf has {recvbuf.count} elements, my count is {counts[me]}"
+        )
+
+    if me == root_index:
+        assert sendbuf is not None, "root must supply a send buffer"
+        reqs = []
+        for i in range(size):
+            view = sendbuf.view(displs[i], counts[i])
+            if i == root_index:
+                yield from ctx.copy(recvbuf, view)
+            elif counts[i] > 0:
+                req = yield from ctx.isend(group.rank_at(i), view, tag=tag)
+                reqs.append(req)
+        yield from ctx.waitall(reqs)
+    elif counts[me] > 0:
+        yield from ctx.recv(group.rank_at(root_index), recvbuf, tag=tag)
+
+
+def gatherv_linear(
+    ctx: RankCtx,
+    group: Group,
+    sendbuf: Buffer,
+    counts: Sequence[int],
+    displs: Sequence[int],
+    recvbuf: Optional[Buffer],
+    root_index: int = 0,
+) -> ProcGen:
+    """Linear gatherv: rank ``i``'s ``counts[i]`` elements land at
+    ``displs[i]`` of the root's ``recvbuf``."""
+    size = group.size
+    me = group.index_of(ctx.rank)
+    tag = ctx.collective_tag(group)
+    _check_layout(counts, displs, size)
+    if sendbuf.count != counts[me]:
+        raise ValueError(
+            f"sendbuf has {sendbuf.count} elements, my count is {counts[me]}"
+        )
+
+    if me == root_index:
+        assert recvbuf is not None, "root must supply a receive buffer"
+        reqs = []
+        for i in range(size):
+            view = recvbuf.view(displs[i], counts[i])
+            if i == root_index:
+                yield from ctx.copy(view, sendbuf)
+            elif counts[i] > 0:
+                reqs.append(ctx.irecv(group.rank_at(i), view, tag=tag))
+        yield from ctx.waitall(reqs)
+    elif counts[me] > 0:
+        yield from ctx.send(group.rank_at(root_index), sendbuf, tag=tag)
+
+
+def allgatherv_ring(
+    ctx: RankCtx,
+    group: Group,
+    sendbuf: Buffer,
+    counts: Sequence[int],
+    displs: Sequence[int],
+    recvbuf: Buffer,
+) -> ProcGen:
+    """Ring allgatherv: ``size - 1`` neighbour rounds with per-rank block
+    sizes (zero-count blocks still take a round slot, as in MPICH)."""
+    size = group.size
+    me = group.index_of(ctx.rank)
+    tag = ctx.collective_tag(group)
+    _check_layout(counts, displs, size)
+    if sendbuf.count != counts[me]:
+        raise ValueError(
+            f"sendbuf has {sendbuf.count} elements, my count is {counts[me]}"
+        )
+    needed = max(
+        (d + c for d, c in zip(displs, counts)), default=0
+    )
+    if recvbuf.count < needed:
+        raise ValueError(
+            f"recvbuf has {recvbuf.count} elements, layout needs {needed}"
+        )
+
+    yield from ctx.copy(recvbuf.view(displs[me], counts[me]), sendbuf)
+    if size == 1:
+        return
+
+    right = group.rank_at((me + 1) % size)
+    left = group.rank_at((me - 1) % size)
+    for step in range(size - 1):
+        send_block = (me - step) % size
+        recv_block = (me - step - 1) % size
+        rreq = ctx.irecv(
+            left, recvbuf.view(displs[recv_block], counts[recv_block]), tag=tag
+        )
+        sreq = yield from ctx.isend(
+            right, recvbuf.view(displs[send_block], counts[send_block]), tag=tag
+        )
+        yield from ctx.wait(rreq)
+        yield from ctx.wait(sreq)

@@ -1,0 +1,61 @@
+"""MPI datatypes and reduction operations (numpy-backed).
+
+Only the machinery the paper's collectives need: fixed-width numeric types
+and the four arithmetic reductions.  Reductions are commutative and
+associative (floating-point reassociation is accepted exactly as real MPI
+implementations accept it; correctness tests compare with tolerance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["DataType", "ReduceOp", "BYTE", "INT32", "INT64", "FLOAT32",
+           "DOUBLE", "SUM", "PROD", "MAX", "MIN"]
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A fixed-width element type."""
+
+    name: str
+    np_dtype: np.dtype
+
+    @property
+    def itemsize(self) -> int:
+        return self.np_dtype.itemsize
+
+    def __str__(self) -> str:
+        return self.name
+
+
+BYTE = DataType("byte", np.dtype(np.uint8))
+INT32 = DataType("int32", np.dtype(np.int32))
+INT64 = DataType("int64", np.dtype(np.int64))
+FLOAT32 = DataType("float32", np.dtype(np.float32))
+DOUBLE = DataType("double", np.dtype(np.float64))
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A commutative, associative elementwise reduction."""
+
+    name: str
+    #: in-place accumulate: fn(accumulator, operand) writes into accumulator
+    ufunc: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+
+    def accumulate(self, acc: np.ndarray, operand: np.ndarray) -> None:
+        """``acc = op(acc, operand)`` elementwise, in place."""
+        self.ufunc(acc, operand, out=acc)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+SUM = ReduceOp("sum", np.add)
+PROD = ReduceOp("prod", np.multiply)
+MAX = ReduceOp("max", np.maximum)
+MIN = ReduceOp("min", np.minimum)

@@ -1,0 +1,49 @@
+"""Nonblocking communication requests."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable, Optional
+
+from repro.sim.engine import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.buffer import Buffer
+
+__all__ = ["Request"]
+
+
+class Request:
+    """Handle for an in-flight send or receive.
+
+    * ``kind == "send"``: ``match_event`` fires at local completion (the
+      send buffer is reusable).  Waiting costs nothing beyond the event.
+    * ``kind == "recv"``: ``match_event`` fires at *match* with the
+      :class:`~repro.mpi.transport.Message`; the receiver-side work (fixed
+      costs, copies, data movement) runs inside the waiting process — MPI's
+      "progress happens on wait" behaviour.
+    """
+
+    __slots__ = ("kind", "match_event", "buf", "src", "dst", "tag", "completed")
+
+    def __init__(
+        self,
+        kind: str,
+        match_event: Event,
+        buf: Optional["Buffer"] = None,
+        src: int = -1,
+        dst: int = -1,
+        tag: Hashable = 0,
+    ):
+        if kind not in ("send", "recv"):
+            raise ValueError(f"bad request kind: {kind!r}")
+        self.kind = kind
+        self.match_event = match_event
+        self.buf = buf
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.completed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.completed else "pending"
+        return f"<Request {self.kind} {self.src}->{self.dst} tag={self.tag} {state}>"

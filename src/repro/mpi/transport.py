@@ -1,0 +1,292 @@
+"""Point-to-point transport: matching, eager/rendezvous internode paths,
+mechanism-driven intranode paths.
+
+Protocol selection
+------------------
+* **Internode, ``nbytes <= eager_threshold``** — eager: the payload is
+  snapshotted at send time, the NIC path is reserved immediately, the send
+  completes at injection-pipeline drain, and the message is delivered at
+  wire arrival.  An arrival with no posted receive queues as *unexpected*
+  and costs the receiver an extra bounce-buffer copy at match.
+* **Internode, larger** — rendezvous: an RTS header travels the wire; the
+  data path is reserved only once the receive is matched (+ one CTS wire
+  latency), and the send completes at data injection drain.
+* **Intranode** — delegated to the configured
+  :class:`~repro.shmem.base.ShmemMechanism`: the sender runs the
+  mechanism's sender work (e.g. POSIX copy-in), then either completes
+  eagerly (double-copy mechanisms) or blocks until the receiver's
+  single-copy completes (kernel/PiP mechanisms).
+
+Matching is MPI-conformant for the subset used here: exact ``(src, tag)``
+(no wildcards), non-overtaking per (src, dst, tag) triple.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple
+
+from repro.mpi.buffer import Buffer, BufferError
+from repro.mpi.request import Request
+from repro.shmem.base import MsgInfo, ShmemMechanism
+from repro.sim.engine import Delay, Engine, Event, ProcGen
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.cluster import ClusterHW
+
+__all__ = ["Message", "Transport", "RTS_HEADER_BYTES"]
+
+#: Size of the rendezvous RTS/CTS control headers on the wire.
+RTS_HEADER_BYTES = 64
+
+
+@dataclass
+class Message:
+    """One in-flight point-to-point message."""
+
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    #: eager: snapshot taken at send time; rendezvous/intranode single-copy:
+    #: live reference to the sender's buffer
+    payload: Optional[Buffer]
+    src_buffer_id: int
+    intranode: bool
+    #: rendezvous data not yet transferred when matched
+    rendezvous: bool = False
+    #: local rank of the sender on its node (for NIC reservation)
+    src_local: int = 0
+    #: event completing the sender's request for non-eager paths
+    sender_done: Optional[Event] = None
+    #: arrival time at the destination (set for delivered eager messages)
+    delivered_at: float = 0.0
+    #: True if the message arrived before a receive was posted
+    unexpected: bool = field(default=False)
+    #: mechanism handling this message (intranode only)
+    mechanism: Optional[ShmemMechanism] = None
+
+
+class Transport:
+    """Cluster-wide p2p matching and delivery."""
+
+    def __init__(self, hw: "ClusterHW"):
+        self.hw = hw
+        self.engine: Engine = hw.engine
+        self.params = hw.params
+        self.topology = hw.topology
+        n = self.topology.world_size
+        # per destination rank: (src, tag) -> FIFO of arrived messages
+        self._arrived: list[Dict[Tuple[int, int], Deque[Message]]] = [
+            {} for _ in range(n)
+        ]
+        # per destination rank: (src, tag) -> FIFO of posted receives
+        self._posted: list[Dict[Tuple[int, int], Deque[Request]]] = [
+            {} for _ in range(n)
+        ]
+        #: count of messages that queued as unexpected (diagnostics)
+        self.unexpected_count = 0
+
+    # ------------------------------------------------------------------
+    # send side
+    # ------------------------------------------------------------------
+
+    def isend(
+        self,
+        src: int,
+        dst: int,
+        buf: Buffer,
+        tag: int,
+        mechanism: Optional[ShmemMechanism],
+    ) -> ProcGen:
+        """Sender-side work; returns the send :class:`Request`.
+
+        Must be driven from the sending rank's process
+        (``req = yield from transport.isend(...)``).
+        """
+        if src == dst:
+            raise BufferError("self-sends are not used by any algorithm here")
+        if self.topology.same_node(src, dst):
+            return (yield from self._isend_intranode(src, dst, buf, tag, mechanism))
+        return (yield from self._isend_internode(src, dst, buf, tag))
+
+    def _isend_internode(self, src: int, dst: int, buf: Buffer, tag: int) -> ProcGen:
+        p = self.params
+        nbytes = buf.nbytes
+        ev = self.engine.event(f"send {src}->{dst} tag={tag}")
+        req = Request("send", ev, buf=buf, src=src, dst=dst, tag=tag)
+        yield Delay(p.send_overhead)
+        src_nic = self.hw.nic_of(src)
+        dst_nic = self.hw.nic_of(dst)
+        src_local = self.topology.local_rank_of(src)
+
+        if nbytes <= p.eager_threshold:
+            payload = buf.snapshot()
+            inject_done, arrival = src_nic.transfer(
+                self.engine.now, src_local, dst_nic, nbytes
+            )
+            msg = Message(
+                src=src, dst=dst, tag=tag, nbytes=nbytes, payload=payload,
+                src_buffer_id=buf.base_id, intranode=False,
+                src_local=src_local,
+            )
+            self.engine.call_at(arrival, lambda: self._deliver(msg))
+            self.engine.call_at(
+                inject_done, lambda: self._complete_send(req)
+            )
+        else:
+            # RTS header travels the full wire path
+            _, rts_arrival = src_nic.transfer(
+                self.engine.now, src_local, dst_nic, RTS_HEADER_BYTES
+            )
+            msg = Message(
+                src=src, dst=dst, tag=tag, nbytes=nbytes, payload=buf,
+                src_buffer_id=buf.base_id, intranode=False, rendezvous=True,
+                src_local=src_local,
+                sender_done=self.engine.event(f"rndv-done {src}->{dst}"),
+            )
+            msg.sender_done.on_trigger(lambda _v: self._complete_send(req))
+            self.engine.call_at(rts_arrival, lambda: self._deliver(msg))
+        return req
+
+    def _isend_intranode(
+        self,
+        src: int,
+        dst: int,
+        buf: Buffer,
+        tag: int,
+        mechanism: Optional[ShmemMechanism],
+    ) -> ProcGen:
+        if mechanism is None:
+            raise ValueError(
+                f"intranode message {src}->{dst} but no shmem mechanism configured"
+            )
+        nbytes = buf.nbytes
+        mem = self.hw.memory_of(src)
+        info = MsgInfo(
+            src_rank=src, dst_rank=dst, nbytes=nbytes, src_buffer_id=buf.base_id
+        )
+        ev = self.engine.event(f"shm-send {src}->{dst} tag={tag}")
+        req = Request("send", ev, buf=buf, src=src, dst=dst, tag=tag)
+        yield from mechanism.sender_work(mem, info)
+        eager = mechanism.eager_for(nbytes)
+        msg = Message(
+            src=src, dst=dst, tag=tag, nbytes=nbytes,
+            payload=buf.snapshot() if eager else buf,
+            src_buffer_id=buf.base_id, intranode=True,
+            src_local=self.topology.local_rank_of(src),
+            sender_done=None if eager else self.engine.event(
+                f"shm-done {src}->{dst}"
+            ),
+            mechanism=mechanism,
+        )
+        if eager:
+            self._deliver(msg)
+            self._complete_send(req)
+        else:
+            msg.sender_done.on_trigger(lambda _v: self._complete_send(req))
+            self._deliver(msg)
+        return req
+
+    @staticmethod
+    def _complete_send(req: Request) -> None:
+        req.completed = True
+        req.match_event.trigger(None)
+
+    # ------------------------------------------------------------------
+    # receive side
+    # ------------------------------------------------------------------
+
+    def irecv(self, dst: int, src: int, buf: Buffer, tag: int) -> Request:
+        """Post a receive; match happens now or on future delivery."""
+        ev = self.engine.event(f"recv {src}->{dst} tag={tag}")
+        req = Request("recv", ev, buf=buf, src=src, dst=dst, tag=tag)
+        key = (src, tag)
+        arrived = self._arrived[dst].get(key)
+        if arrived:
+            msg = arrived.popleft()
+            if not arrived:
+                del self._arrived[dst][key]
+            req.match_event.trigger(msg)
+        else:
+            self._posted[dst].setdefault(key, deque()).append(req)
+        return req
+
+    def _deliver(self, msg: Message) -> None:
+        """A message becomes matchable at the destination (engine callback)."""
+        msg.delivered_at = self.engine.now
+        key = (msg.src, msg.tag)
+        posted = self._posted[msg.dst].get(key)
+        if posted:
+            req = posted.popleft()
+            if not posted:
+                del self._posted[msg.dst][key]
+            req.match_event.trigger(msg)
+        else:
+            msg.unexpected = True
+            self.unexpected_count += 1
+            self._arrived[msg.dst].setdefault(key, deque()).append(msg)
+
+    def recv_work(self, req: Request, msg: Message) -> ProcGen:
+        """Receiver-side completion, run inside the receiving process."""
+        p = self.params
+        if msg.intranode:
+            yield from self._recv_work_intranode(req, msg)
+        elif msg.rendezvous:
+            yield from self._recv_work_rendezvous(req, msg)
+        else:
+            # internode eager
+            if msg.unexpected:
+                # bounce-buffer copy out of the unexpected queue
+                mem = self.hw.memory_of(req.dst)
+                yield from mem.copy(msg.nbytes, extra_fixed=p.recv_overhead)
+            else:
+                yield Delay(p.recv_overhead)
+            self._move_data(req, msg)
+        req.completed = True
+
+    def _recv_work_intranode(self, req: Request, msg: Message) -> ProcGen:
+        mech = msg.mechanism
+        assert mech is not None
+        mem = self.hw.memory_of(req.dst)
+        info = MsgInfo(
+            src_rank=msg.src, dst_rank=msg.dst, nbytes=msg.nbytes,
+            src_buffer_id=msg.src_buffer_id,
+        )
+        fixed = mech.match_fixed(mem, info)
+        yield from mem.copy(mech.receiver_copy_bytes(msg.nbytes), extra_fixed=fixed)
+        self._move_data(req, msg)
+        if msg.sender_done is not None:
+            msg.sender_done.trigger(None)
+
+    def _recv_work_rendezvous(self, req: Request, msg: Message) -> ProcGen:
+        p = self.params
+        # CTS header travels back, then the data path is reserved
+        data_start = self.engine.now + p.send_overhead + p.wire_latency
+        src_nic = self.hw.nic_of(msg.src)
+        dst_nic = self.hw.nic_of(msg.dst)
+        inject_done, arrival = src_nic.transfer(
+            data_start, msg.src_local, dst_nic, msg.nbytes, dma=True
+        )
+        # Capture payload now: the sender's request completes at injection
+        # drain, after which it may legally reuse the buffer, but this
+        # receive only materialises the data at arrival time.
+        if msg.payload is not None:
+            msg.payload = msg.payload.snapshot()
+        assert msg.sender_done is not None
+        self.engine.call_at(inject_done, lambda: msg.sender_done.trigger(None))
+        yield Delay(arrival - self.engine.now + p.recv_overhead)
+        self._move_data(req, msg)
+
+    @staticmethod
+    def _move_data(req: Request, msg: Message) -> None:
+        if req.buf is None:
+            return
+        if req.buf.nbytes != msg.nbytes:
+            raise BufferError(
+                f"recv posted {req.buf.nbytes}B for a {msg.nbytes}B message "
+                f"({msg.src}->{msg.dst} tag={msg.tag})"
+            )
+        if msg.payload is not None:
+            req.buf.copy_from(msg.payload)

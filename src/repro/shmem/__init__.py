@@ -1,0 +1,24 @@
+"""Intranode shared-memory mechanism models and the PiP node environment."""
+
+from repro.shmem.base import MsgInfo, ShmemMechanism
+from repro.shmem.mechanisms import (
+    HybridMechanism,
+    KernelCopy,
+    PipShmem,
+    PosixShmem,
+    Xpmem,
+)
+from repro.shmem.pip_env import AddressBoard, PipNode, SharedCounter
+
+__all__ = [
+    "MsgInfo",
+    "ShmemMechanism",
+    "HybridMechanism",
+    "KernelCopy",
+    "PipShmem",
+    "PosixShmem",
+    "Xpmem",
+    "AddressBoard",
+    "PipNode",
+    "SharedCounter",
+]

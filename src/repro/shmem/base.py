@@ -1,0 +1,72 @@
+"""Intranode transfer mechanism interface.
+
+A mechanism answers three questions about an intranode point-to-point
+message (the transport charges everything else):
+
+1. what work does the *sender* do before the message is visible to the
+   receiver, and does the send then complete eagerly (double-copy POSIX) or
+   only once the receiver has copied (single-copy kernel/PiP mechanisms)?
+2. what *fixed* costs hit at match time (size-sync handshakes, syscalls,
+   attach operations, page faults)?
+3. how many bytes does the *receiver* copy?
+
+These are exactly the axes along which §II distinguishes POSIX-SHMEM,
+CMA/KNEM/LiMiC, XPMEM, and PiP.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim.engine import Delay, ProcGen
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.memory import MemoryModel
+
+__all__ = ["ShmemMechanism", "MsgInfo"]
+
+
+@dataclass(frozen=True)
+class MsgInfo:
+    """What a mechanism needs to know about one intranode message."""
+
+    src_rank: int
+    dst_rank: int
+    nbytes: int
+    #: identity of the sender-side allocation (page-fault / attach warm key)
+    src_buffer_id: int
+
+
+class ShmemMechanism(abc.ABC):
+    """One intranode data-movement mechanism."""
+
+    #: mechanism name for reports
+    name: str = "abstract"
+    #: True if the sender completes without receiver participation
+    eager: bool = False
+
+    @abc.abstractmethod
+    def sender_work(self, mem: "MemoryModel", msg: MsgInfo) -> ProcGen:
+        """Blocking work at the sender before the message is posted."""
+
+    @abc.abstractmethod
+    def match_fixed(self, mem: "MemoryModel", msg: MsgInfo) -> float:
+        """Fixed receiver-side cost at match time (syscall/attach/sync)."""
+
+    def receiver_copy_bytes(self, nbytes: int) -> int:
+        """Bytes the receiver copies out (default: the whole message)."""
+        return nbytes
+
+    def eager_for(self, nbytes: int) -> bool:
+        """Whether a message of ``nbytes`` completes eagerly at the sender."""
+        return self.eager
+
+    @staticmethod
+    def _noop() -> ProcGen:
+        """A sender_work that costs nothing."""
+        yield Delay(0.0)
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,137 @@
+"""PiP node environment: the shared-address-space primitives.
+
+In real PiP, all MPI processes on a node live in one virtual address space:
+a process can publish a pointer and any other local process can dereference
+it directly.  PiP-MColl builds its collectives from exactly three userspace
+primitives, which we model here with their costs:
+
+* the **address board** — a per-node key/value space where a process posts a
+  buffer address (cost: ``pip_post_time``) and others look it up (cost:
+  ``pip_flag_time``, the flag poll);
+* **shared counters** — userspace atomics used for arrival/completion
+  synchronisation (post: ``pip_flag_time``; satisfied waits also charge one
+  flag read);
+* **direct copies/reductions** between any two local buffers through the
+  node memory model — no syscalls, no page faults, single copy.
+
+Because our simulated ranks are coroutines in one Python process, a "posted
+address" is simply a reference to the peer's :class:`~repro.mpi.buffer.Buffer`
+— the same functional capability PiP provides, with costs charged by the
+model.
+
+Keys are namespaced per collective invocation (``fresh_namespace``) so that
+back-to-back collectives never observe each other's stale postings — the
+simulation analogue of PiP-MColl's per-operation sequence numbers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Hashable, List, Tuple
+
+from repro.hw.params import MachineParams
+from repro.sim.engine import Delay, Engine, Event, ProcGen, WaitEvent
+
+__all__ = ["AddressBoard", "SharedCounter", "PipNode"]
+
+
+class AddressBoard:
+    """Per-node key → value publication space (PiP address posting)."""
+
+    def __init__(self, engine: Engine, params: MachineParams, node: int):
+        self.engine = engine
+        self.params = params
+        self.node = node
+        self._slots: Dict[Hashable, Event] = {}
+
+    def _slot(self, key: Hashable) -> Event:
+        ev = self._slots.get(key)
+        if ev is None:
+            ev = self.engine.event(f"board[{self.node}]:{key}")
+            self._slots[key] = ev
+        return ev
+
+    def post(self, key: Hashable, value: Any) -> ProcGen:
+        """Publish ``value`` under ``key``; blocks for the post cost."""
+        yield Delay(self.params.pip_post_time)
+        self._slot(key).trigger(value)
+
+    def lookup(self, key: Hashable) -> ProcGen:
+        """Wait until ``key`` is posted; returns the value."""
+        value = yield WaitEvent(self._slot(key))
+        yield Delay(self.params.pip_flag_time)
+        return value
+
+    def clear(self) -> None:
+        self._slots.clear()
+
+
+class SharedCounter:
+    """A userspace counter local processes can bump and wait on."""
+
+    def __init__(self, engine: Engine, params: MachineParams, name: str = ""):
+        self.engine = engine
+        self.params = params
+        self.name = name
+        self.value = 0
+        self._waiters: List[Tuple[int, Event]] = []
+
+    def add(self, n: int = 1) -> ProcGen:
+        """Atomically add ``n`` (charges one flag write)."""
+        yield Delay(self.params.pip_flag_time)
+        self.value += n
+        if self._waiters:
+            still_waiting = []
+            for threshold, ev in self._waiters:
+                if self.value >= threshold:
+                    ev.trigger(self.value)
+                else:
+                    still_waiting.append((threshold, ev))
+            self._waiters = still_waiting
+
+    def wait_at_least(self, threshold: int) -> ProcGen:
+        """Block until the counter reaches ``threshold``."""
+        if self.value >= threshold:
+            yield Delay(self.params.pip_flag_time)
+            return self.value
+        ev = self.engine.event(f"counter[{self.name}]>={threshold}")
+        self._waiters.append((threshold, ev))
+        value = yield WaitEvent(ev)
+        yield Delay(self.params.pip_flag_time)
+        return value
+
+
+class PipNode:
+    """The PiP environment of one node: board + counter factory."""
+
+    def __init__(self, engine: Engine, params: MachineParams, node: int):
+        self.engine = engine
+        self.params = params
+        self.node = node
+        self.board = AddressBoard(engine, params, node)
+        self._counters: Dict[Hashable, SharedCounter] = {}
+        self._namespace_seq = itertools.count(1)
+
+    def counter(self, key: Hashable) -> SharedCounter:
+        """Get-or-create the shared counter named ``key``."""
+        c = self._counters.get(key)
+        if c is None:
+            c = SharedCounter(self.engine, self.params, name=f"{self.node}:{key}")
+            self._counters[key] = c
+        return c
+
+    def fresh_namespace(self) -> int:
+        """A node-unique integer to namespace one collective invocation.
+
+        Callers must agree on who draws it (the local root does) and share
+        it via algorithm structure, not via the board (that would be a
+        bootstrap paradox); in practice every PiP-MColl collective has all
+        local ranks derive the namespace from a per-communicator operation
+        sequence number, which is what
+        :meth:`repro.mpi.runtime.RankCtx.collective_seq` provides.
+        """
+        return next(self._namespace_seq)
+
+    def clear(self) -> None:
+        self.board.clear()
+        self._counters.clear()

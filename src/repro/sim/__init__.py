@@ -1,0 +1,40 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package is a purpose-built, dependency-free simulation kernel (in the
+spirit of SimPy, but deterministic and specialised for eager FIFO resource
+reservation) on which the simulated cluster, network, and MPI runtime are
+built.
+"""
+
+from repro.sim.engine import (
+    Command,
+    DeadlockError,
+    Delay,
+    Engine,
+    Event,
+    ProcGen,
+    Process,
+    SimulationError,
+    WaitAll,
+    WaitEvent,
+)
+from repro.sim.resources import MultiServer, RateLimiter, Server
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "Command",
+    "DeadlockError",
+    "Delay",
+    "Engine",
+    "Event",
+    "ProcGen",
+    "Process",
+    "SimulationError",
+    "WaitAll",
+    "WaitEvent",
+    "MultiServer",
+    "RateLimiter",
+    "Server",
+    "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,7 @@
+"""Command-line tools built on the simulation harness.
+
+Run as modules (``python -m repro.tools.osu``); nothing is imported here
+so that ``runpy`` execution stays clean.
+"""
+
+__all__: list = []

@@ -1,0 +1,17 @@
+"""Shared helpers (units, integer math) for the PiP-MColl reproduction."""
+
+from repro.util.units import GB, KB, MB, fmt_rate, fmt_size, fmt_time, parse_size
+from repro.util.intmath import ceil_div, ilog, is_power_of
+
+__all__ = [
+    "GB",
+    "KB",
+    "MB",
+    "fmt_rate",
+    "fmt_size",
+    "fmt_time",
+    "parse_size",
+    "ceil_div",
+    "ilog",
+    "is_power_of",
+]

@@ -1,0 +1,45 @@
+"""Small integer-math helpers used by the collective algorithms."""
+
+from __future__ import annotations
+
+__all__ = ["ceil_div", "ilog", "is_power_of"]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    if a < 0:
+        raise ValueError(f"dividend must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def ilog(base: int, n: int) -> int:
+    """Floor of log_base(n) computed with exact integer arithmetic.
+
+    >>> ilog(19, 361)
+    2
+    >>> ilog(2, 7)
+    2
+    """
+    if base < 2:
+        raise ValueError(f"base must be >= 2, got {base}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    k = 0
+    acc = 1
+    while acc * base <= n:
+        acc *= base
+        k += 1
+    return k
+
+
+def is_power_of(base: int, n: int) -> bool:
+    """True if ``n == base**k`` for some integer ``k >= 0``."""
+    if base < 2:
+        raise ValueError(f"base must be >= 2, got {base}")
+    if n < 1:
+        return False
+    while n % base == 0:
+        n //= base
+    return n == 1

@@ -1,0 +1,92 @@
+"""Size and time unit helpers used throughout the benchmark harness."""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["KB", "MB", "GB", "parse_size", "fmt_size", "fmt_time", "fmt_rate"]
+
+#: Binary units, as used by the paper ("64 kB" message sizes are 64 * 1024).
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+_SIZE_RE = re.compile(
+    r"^\s*([0-9]+(?:\.[0-9]+)?)\s*(b|kb|k|kib|mb|m|mib|gb|g|gib)?\s*$",
+    re.IGNORECASE,
+)
+
+_SIZE_FACTORS = {
+    None: 1,
+    "b": 1,
+    "k": KB,
+    "kb": KB,
+    "kib": KB,
+    "m": MB,
+    "mb": MB,
+    "mib": MB,
+    "g": GB,
+    "gb": GB,
+    "gib": GB,
+}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse ``"64kB"``-style size strings into bytes.
+
+    Integers pass through unchanged.  Binary prefixes are assumed (matching
+    the paper's usage: 1 kB = 1024 B).
+
+    >>> parse_size("64kB")
+    65536
+    >>> parse_size(512)
+    512
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ValueError(f"negative size: {text}")
+        return text
+    m = _SIZE_RE.match(text)
+    if not m:
+        raise ValueError(f"cannot parse size: {text!r}")
+    value, unit = m.groups()
+    nbytes = float(value) * _SIZE_FACTORS[unit.lower() if unit else None]
+    if not nbytes.is_integer():
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(nbytes)
+
+
+def fmt_size(nbytes: int) -> str:
+    """Format a byte count compactly: 512 -> '512B', 65536 -> '64kB'."""
+    if nbytes >= GB and nbytes % GB == 0:
+        return f"{nbytes // GB}GB"
+    if nbytes >= MB and nbytes % MB == 0:
+        return f"{nbytes // MB}MB"
+    if nbytes >= KB and nbytes % KB == 0:
+        return f"{nbytes // KB}kB"
+    return f"{nbytes}B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration with an adaptive unit (s/ms/us/ns)."""
+    if seconds == 0:
+        return "0s"
+    a = abs(seconds)
+    if a >= 1.0:
+        return f"{seconds:.3f}s"
+    if a >= 1e-3:
+        return f"{seconds * 1e3:.3f}ms"
+    if a >= 1e-6:
+        return f"{seconds * 1e6:.3f}us"
+    return f"{seconds * 1e9:.1f}ns"
+
+
+def fmt_rate(per_second: float) -> str:
+    """Format an event rate (e.g. messages/s) with an adaptive unit."""
+    if per_second >= 1e9:
+        return f"{per_second / 1e9:.2f}G/s"
+    if per_second >= 1e6:
+        return f"{per_second / 1e6:.2f}M/s"
+    if per_second >= 1e3:
+        return f"{per_second / 1e3:.2f}k/s"
+    return f"{per_second:.2f}/s"

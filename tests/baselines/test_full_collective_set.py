@@ -1,0 +1,117 @@
+"""Every library implements the full seven-collective interface correctly,
+including back-to-back mixed sequences (the MPI ordering semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import library_names, make_library
+from repro.hw import Topology, tiny_test_machine
+from repro.mpi import DOUBLE, SUM, Buffer
+
+LIBS = library_names(include_variants=True)
+SHAPE = (3, 2)
+
+
+def lib_world(lib_name, shape=SHAPE):
+    lib = make_library(lib_name)
+    return lib, lib.make_world(Topology(*shape), tiny_test_machine())
+
+
+@pytest.mark.parametrize("lib_name", LIBS)
+class TestRemainingCollectives:
+    def test_bcast(self, lib_name):
+        lib, world = lib_world(lib_name)
+        payload = np.arange(9, dtype=np.float64)
+        bufs = [
+            Buffer.real(payload.copy()) if r == 0 else Buffer.alloc(DOUBLE, 9)
+            for r in range(world.world_size)
+        ]
+
+        def body(ctx):
+            yield from lib.bcast(ctx, bufs[ctx.rank], root=0)
+
+        world.run(body)
+        for b in bufs:
+            assert np.array_equal(b.array(), payload)
+
+    def test_gather(self, lib_name):
+        lib, world = lib_world(lib_name)
+        size = world.world_size
+        rng = np.random.default_rng(1)
+        inputs = [Buffer.real(rng.random(3)) for _ in range(size)]
+        recvbuf = Buffer.alloc(DOUBLE, size * 3)
+
+        def body(ctx):
+            rb = recvbuf if ctx.rank == 0 else None
+            yield from lib.gather(ctx, inputs[ctx.rank], rb, root=0)
+
+        world.run(body)
+        expected = np.concatenate([b.array() for b in inputs])
+        assert np.array_equal(recvbuf.array(), expected)
+
+    def test_reduce(self, lib_name):
+        lib, world = lib_world(lib_name)
+        size = world.world_size
+        rng = np.random.default_rng(2)
+        inputs = [Buffer.real(rng.random(6)) for _ in range(size)]
+        recvbuf = Buffer.alloc(DOUBLE, 6)
+
+        def body(ctx):
+            rb = recvbuf if ctx.rank == 0 else None
+            yield from lib.reduce(ctx, inputs[ctx.rank], rb, SUM, root=0)
+
+        world.run(body)
+        expected = np.sum([b.array() for b in inputs], axis=0)
+        np.testing.assert_allclose(recvbuf.array(), expected, rtol=1e-12)
+
+    def test_barrier(self, lib_name):
+        lib, world = lib_world(lib_name)
+        enter, exit_ = {}, {}
+
+        def body(ctx):
+            yield from ctx.compute(ctx.rank * 1e-5)
+            enter[ctx.rank] = world.engine.now
+            yield from lib.barrier(ctx)
+            exit_[ctx.rank] = world.engine.now
+
+        world.run(body)
+        assert min(exit_.values()) >= max(enter.values())
+
+    def test_mixed_collective_sequence(self, lib_name):
+        """bcast -> alltoall -> allreduce -> gather back-to-back: exercises
+        tag scoping and ordering across different collective kinds."""
+        lib, world = lib_world(lib_name)
+        size = world.world_size
+        rng = np.random.default_rng(3)
+
+        seed = np.arange(4, dtype=np.float64)
+        bc = [
+            Buffer.real(seed.copy()) if r == 0 else Buffer.alloc(DOUBLE, 4)
+            for r in range(size)
+        ]
+        a2a_in = [Buffer.real(rng.random(size)) for _ in range(size)]
+        a2a_out = [Buffer.alloc(DOUBLE, size) for _ in range(size)]
+        ar_out = [Buffer.alloc(DOUBLE, size) for _ in range(size)]
+        g_out = Buffer.alloc(DOUBLE, size * 4)
+
+        def body(ctx):
+            yield from lib.bcast(ctx, bc[ctx.rank], root=0)
+            yield from lib.alltoall(ctx, a2a_in[ctx.rank], a2a_out[ctx.rank])
+            yield from lib.allreduce(ctx, a2a_out[ctx.rank], ar_out[ctx.rank], SUM)
+            rb = g_out if ctx.rank == 0 else None
+            yield from lib.gather(ctx, bc[ctx.rank], rb, root=0)
+
+        world.run(body)
+        # bcast delivered
+        for b in bc:
+            assert np.array_equal(b.array(), seed)
+        # alltoall transpose
+        matrix = np.array([b.array() for b in a2a_in])
+        for r, out in enumerate(a2a_out):
+            assert np.array_equal(out.array(), matrix[:, r])
+        # allreduce over the transposed rows = column sums of matrix rows
+        expected_ar = np.sum([o.array() for o in a2a_out], axis=0)
+        for out in ar_out:
+            np.testing.assert_allclose(out.array(), expected_ar, rtol=1e-12)
+        # gather of the broadcast seeds
+        assert np.array_equal(g_out.array(), np.tile(seed, size))

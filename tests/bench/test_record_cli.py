@@ -1,0 +1,28 @@
+"""Tests for the ``python -m repro.bench.record`` CLI."""
+
+import pytest
+
+from repro.bench.record import main
+
+
+def test_records_figure_to_file(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("PIPMCOLL_SCALE", "small")
+    out = tmp_path / "run.txt"
+    rc = main(["--figures", "fig06", "--scale", "small", "--out", str(out)])
+    assert rc == 0
+    text = out.read_text()
+    assert "fig06" in text
+    assert "PiP-MColl" in text and "PiP-MPICH" in text
+    assert "done in" in text
+    # stdout mirrors the file
+    assert "fig06" in capsys.readouterr().out
+
+
+def test_unknown_figure_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["--figures", "fig99", "--scale", "small"])
+
+
+def test_unknown_scale_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["--figures", "fig06", "--scale", "galactic"])

@@ -1,0 +1,99 @@
+"""Fast shape checks of the headline results (small cluster, quick points).
+
+These assert the *relationships* the paper's evaluation reports — who wins
+where, and where the crossovers sit — at a scale small enough for the unit
+test suite.  The full-figure versions live in ``benchmarks/``; the recorded
+paper-scale tables are in ``results/`` and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench.microbench import run_point
+from repro.util.units import KB
+
+NODES, PPN = 8, 6
+
+
+def t(lib, coll, nbytes, nodes=NODES, ppn=PPN):
+    return run_point(lib, coll, nodes, ppn, nbytes).time
+
+
+class TestSmallMessageWins:
+    """Figs. 6, 7, 9, 10: multi-object wins for small messages."""
+
+    @pytest.mark.parametrize("coll", ["scatter", "allgather"])
+    def test_mcoll_beats_baseline(self, coll):
+        assert t("PiP-MColl", coll, 64) < t("PiP-MPICH", coll, 64)
+
+    @pytest.mark.parametrize("coll", ["scatter", "allgather"])
+    def test_mcoll_beats_hierarchical_libs(self, coll):
+        for lib in ("IntelMPI", "MVAPICH2"):
+            assert t("PiP-MColl", coll, 64) < t(lib, coll, 64)
+
+    def test_allgather_speedup_grows_with_nodes(self):
+        """Fig. 7's trend: the gap vs the baseline widens with node count."""
+        gain_small = t("PiP-MPICH", "allgather", 16, nodes=2) / t(
+            "PiP-MColl", "allgather", 16, nodes=2
+        )
+        gain_large = t("PiP-MPICH", "allgather", 16, nodes=32) / t(
+            "PiP-MColl", "allgather", 16, nodes=32
+        )
+        assert gain_large > gain_small
+
+
+class TestAlgorithmSwitches:
+    """Figs. 13-14: the 64 kB switches pay off."""
+
+    def test_allgather_switch_beneficial(self):
+        big = 128 * KB
+        assert t("PiP-MColl", "allgather", big) < t(
+            "PiP-MColl-small", "allgather", big
+        )
+
+    def test_allgather_small_algo_better_below_switch(self):
+        small = 512
+        assert t("PiP-MColl", "allgather", small) == pytest.approx(
+            t("PiP-MColl-small", "allgather", small), rel=1e-9
+        )
+
+    def test_allreduce_switch_beneficial(self):
+        big = 64 * 1024 * 8  # 64k doubles
+        assert t("PiP-MColl", "allreduce", big) < 0.7 * t(
+            "PiP-MColl-small", "allreduce", big
+        )
+
+    def test_allreduce_crossover_band_exists(self):
+        """Fig. 14: somewhere in the medium-count band a baseline beats
+        the small algorithm — the reason the switch exists."""
+        mid = 4 * 1024 * 8  # 4k doubles, below the 8k switch
+        mcoll = t("PiP-MColl", "allreduce", mid)
+        best_other = min(
+            t(lib, "allreduce", mid) for lib in ("PiP-MPICH", "OpenMPI")
+        )
+        assert best_other < mcoll * 1.25  # competitive-to-winning
+
+
+class TestScatterTrend:
+    """Fig. 12: scatter speedup decays as bandwidth saturates."""
+
+    def test_speedup_decays_with_size(self):
+        small_gain = t("PiP-MPICH", "scatter", 1 * KB) / t(
+            "PiP-MColl", "scatter", 1 * KB
+        )
+        large_gain = t("PiP-MPICH", "scatter", 512 * KB) / t(
+            "PiP-MColl", "scatter", 512 * KB
+        )
+        assert large_gain < small_gain
+        assert large_gain > 1.0  # but PiP-MColl still wins
+
+
+class TestBaselineCharacter:
+    """§II/§IV observations about the baselines themselves."""
+
+    def test_pip_mpich_hurt_by_sizesync_on_small_allgather(self):
+        """PiP-MPICH is sometimes the worst library for small allgather
+        (Fig. 10's observation) — at minimum, worse than Intel MPI."""
+        assert t("IntelMPI", "allgather", 16) < t("PiP-MPICH", "allgather", 16)
+
+    def test_hierarchical_beats_flat_for_small_allreduce(self):
+        assert t("IntelMPI", "allreduce", 128) < t("OpenMPI", "allreduce", 128)

@@ -1,0 +1,102 @@
+"""Tests for the run-diagnostics module."""
+
+import pytest
+
+from repro.bench.stats import (
+    collect_stats,
+    format_stats,
+    message_histogram,
+    size_class_of,
+)
+from repro.core import mcoll_allgather_small
+from repro.hw import Topology, tiny_test_machine
+from repro.mpi import Buffer, World
+from repro.shmem import PipShmem
+from repro.util.units import KB
+
+
+def run_allgather_world(nodes=3, ppn=2, nbytes=64):
+    world = World(
+        Topology(nodes, ppn), tiny_test_machine(), mechanism=PipShmem(),
+        phantom=True,
+    )
+    size = world.world_size
+    sends = [Buffer.phantom(nbytes) for _ in range(size)]
+    recvs = [Buffer.phantom(nbytes * size) for _ in range(size)]
+
+    def body(ctx):
+        yield from mcoll_allgather_small(ctx, sends[ctx.rank], recvs[ctx.rank])
+
+    world.run(body)
+    return world
+
+
+class TestCollectStats:
+    def test_counts_match_hardware(self):
+        world = run_allgather_world()
+        stats = collect_stats(world)
+        assert stats.internode_messages == world.hw.total_internode_messages()
+        assert stats.internode_bytes == world.hw.total_internode_bytes()
+        assert stats.nodes == 3
+        assert len(stats.per_node_sent) == 3
+
+    def test_allgather_is_wire_balanced(self):
+        """Every node ships the same bytes — balance exactly 1.0."""
+        stats = collect_stats(run_allgather_world())
+        assert stats.wire_balance == pytest.approx(1.0)
+
+    def test_memory_accounting_present(self):
+        stats = collect_stats(run_allgather_world())
+        assert sum(stats.memory_bytes_copied) > 0
+        assert sum(stats.memory_busy) > 0
+
+    def test_balance_infinite_when_a_node_is_silent(self):
+        from repro.core import mcoll_scatter
+
+        world = World(
+            Topology(3, 2), tiny_test_machine(), mechanism=PipShmem(),
+            phantom=True,
+        )
+        size = world.world_size
+        full = Buffer.phantom(64 * size)
+        recvs = [Buffer.phantom(64) for _ in range(size)]
+
+        def body(ctx):
+            sb = full if ctx.rank == 0 else None
+            yield from mcoll_scatter(ctx, sb, recvs[ctx.rank])
+
+        world.run(body)
+        stats = collect_stats(world)
+        # leaf nodes send nothing in a scatter
+        assert stats.wire_balance == float("inf")
+
+    def test_format_stats_readable(self):
+        stats = collect_stats(run_allgather_world())
+        text = format_stats(stats, title="allgather 3x2")
+        assert "allgather 3x2" in text
+        assert "internode" in text
+        assert "unexpected" in text
+
+
+class TestSizeClasses:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (0, "<=1kB"),
+            (1 * KB, "<=1kB"),
+            (1 * KB + 1, "<=8kB"),
+            (8 * KB, "<=8kB"),
+            (100 * KB, "<128kB"),
+            (128 * KB, ">=128kB"),
+            (10 * 1024 * KB, ">=128kB"),
+        ],
+    )
+    def test_size_class_of(self, nbytes, expected):
+        assert size_class_of(nbytes) == expected
+
+    def test_histogram(self):
+        hist = message_histogram([16, 2 * KB, 2 * KB, 256 * KB])
+        assert hist["<=1kB"] == 1
+        assert hist["<=8kB"] == 2
+        assert hist["<128kB"] == 0
+        assert hist[">=128kB"] == 1

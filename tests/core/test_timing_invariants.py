@@ -1,0 +1,96 @@
+"""Timing-level invariants of the simulation.
+
+These pin properties that any regression would silently break:
+
+* phantom and real data modes produce *identical* simulated times (the
+  benchmark sweeps measure exactly what the verified real-data runs do);
+* attaching a tracer never changes timing;
+* per-collective times are monotone in message size and node count;
+* simulated time is invariant across repeated fresh-world runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.microbench import COLLECTIVES, run_point
+from repro.core import PiPMColl
+from repro.hw import Topology, tiny_test_machine
+from repro.mpi import DOUBLE, SUM, Buffer, World
+from repro.shmem import PipShmem
+from repro.sim import Tracer
+
+
+def timed_allreduce(phantom: bool, tracer=None) -> float:
+    lib = PiPMColl()
+    world = World(
+        Topology(3, 2), tiny_test_machine(), mechanism=PipShmem(),
+        phantom=phantom, tracer=tracer,
+    )
+    size = world.world_size
+    if phantom:
+        sends = [Buffer.phantom(256 * 8, DOUBLE) for _ in range(size)]
+        recvs = [Buffer.phantom(256 * 8, DOUBLE) for _ in range(size)]
+    else:
+        rng = np.random.default_rng(0)
+        sends = [Buffer.real(rng.random(256)) for _ in range(size)]
+        recvs = [Buffer.alloc(DOUBLE, 256) for _ in range(size)]
+
+    def body(ctx):
+        yield from lib.allreduce(ctx, sends[ctx.rank], recvs[ctx.rank], SUM)
+
+    return world.run(body).elapsed
+
+
+class TestDataModeEquivalence:
+    def test_phantom_equals_real_timing(self):
+        assert timed_allreduce(True) == pytest.approx(
+            timed_allreduce(False), rel=1e-12
+        )
+
+    @pytest.mark.parametrize(
+        "collective", ["scatter", "allgather", "alltoall", "reduce"]
+    )
+    def test_all_collectives_deterministic_across_runs(self, collective):
+        a = run_point("PiP-MColl", collective, 3, 2, 512)
+        b = run_point("PiP-MColl", collective, 3, 2, 512)
+        assert a.time == b.time
+        assert a.internode_messages == b.internode_messages
+
+
+class TestTracerNeutrality:
+    def test_tracing_does_not_change_time(self):
+        tracer = Tracer()
+        assert timed_allreduce(True, tracer=tracer) == pytest.approx(
+            timed_allreduce(True, tracer=None), rel=1e-12
+        )
+        assert tracer.events  # and it did record
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("collective", sorted(COLLECTIVES))
+    def test_time_nondecreasing_in_message_size(self, collective):
+        sizes = [64, 1024, 16 * 1024, 256 * 1024]
+        times = [
+            run_point("PiP-MColl", collective, 4, 3, s).time for s in sizes
+        ]
+        for a, b in zip(times, times[1:]):
+            assert b >= a * 0.999, (collective, times)
+
+    @pytest.mark.parametrize("collective", ["scatter", "allgather", "allreduce"])
+    def test_time_nondecreasing_in_nodes(self, collective):
+        """Within 2%: the allreduce's remainder phase for N just below a
+        power of (P+1) can cost a whisker more than the next full round."""
+        times = [
+            run_point("PiP-MColl", collective, n, 3, 1024).time
+            for n in (2, 4, 8, 16)
+        ]
+        for a, b in zip(times, times[1:]):
+            assert b >= a * 0.98, (collective, times)
+
+    def test_more_ppn_helps_scatter_internode_phase(self):
+        """More objects per node = more concurrent senders: for a fixed
+        total payload per node, the internode phase shortens."""
+        # 16 nodes, same total node payload (ppn * per-rank bytes constant)
+        t2 = run_point("PiP-MColl", "scatter", 16, 2, 4096).time
+        t8 = run_point("PiP-MColl", "scatter", 16, 8, 1024).time
+        assert t8 < t2

@@ -1,0 +1,41 @@
+"""Shared helpers for collective-algorithm correctness tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw import Topology, tiny_test_machine
+from repro.mpi import DOUBLE, Buffer, World
+from repro.mpi.collectives import Group
+from repro.shmem import PosixShmem
+
+
+def make_world(nodes: int, ppn: int, mechanism=None, params=None) -> World:
+    """A small real-data world for correctness tests."""
+    return World(
+        Topology(nodes, ppn),
+        params or tiny_test_machine(),
+        mechanism=mechanism or PosixShmem(),
+    )
+
+
+def world_group(world: World) -> Group:
+    return Group(range(world.world_size))
+
+
+def rank_inputs(world: World, count: int, seed: int = 0) -> list[Buffer]:
+    """Deterministic distinct per-rank input buffers (doubles)."""
+    rng = np.random.default_rng(seed)
+    return [
+        Buffer.real(np.round(rng.random(count) * 100, 3))
+        for _ in range(world.world_size)
+    ]
+
+
+def alloc_outputs(world: World, count: int) -> list[Buffer]:
+    return [Buffer.alloc(DOUBLE, count) for _ in range(world.world_size)]
+
+
+def gathered_matrix(inputs: list[Buffer]) -> np.ndarray:
+    """Concatenation of all rank inputs (allgather ground truth)."""
+    return np.concatenate([b.array() for b in inputs])

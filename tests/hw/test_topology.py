@@ -1,0 +1,61 @@
+"""Tests for cluster topology / rank mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw import Topology
+
+
+def test_basic_mapping():
+    topo = Topology(nodes=4, ppn=3)
+    assert topo.world_size == 12
+    assert topo.node_of(0) == 0
+    assert topo.node_of(11) == 3
+    assert topo.local_rank_of(7) == 1
+    assert topo.rank_of(2, 1) == 7
+    assert topo.locate(7) == (2, 1)
+
+
+def test_same_node():
+    topo = Topology(nodes=2, ppn=4)
+    assert topo.same_node(0, 3)
+    assert not topo.same_node(3, 4)
+
+
+def test_node_ranks_block_mapping():
+    topo = Topology(nodes=3, ppn=2)
+    assert list(topo.node_ranks(1)) == [2, 3]
+
+
+def test_bounds_checking():
+    topo = Topology(nodes=2, ppn=2)
+    with pytest.raises(ValueError):
+        topo.node_of(4)
+    with pytest.raises(ValueError):
+        topo.node_of(-1)
+    with pytest.raises(ValueError):
+        topo.rank_of(2, 0)
+    with pytest.raises(ValueError):
+        topo.rank_of(0, 2)
+    with pytest.raises(ValueError):
+        topo.node_ranks(5)
+
+
+def test_degenerate_shapes_rejected():
+    with pytest.raises(ValueError):
+        Topology(nodes=0, ppn=1)
+    with pytest.raises(ValueError):
+        Topology(nodes=1, ppn=0)
+
+
+@given(st.integers(1, 40), st.integers(1, 40))
+def test_mapping_roundtrip(nodes, ppn):
+    topo = Topology(nodes=nodes, ppn=ppn)
+    for rank in topo.ranks():
+        node, local = topo.locate(rank)
+        assert topo.rank_of(node, local) == rank
+        assert rank in topo.node_ranks(node)
+
+
+def test_str():
+    assert str(Topology(128, 18)) == "128x18"

@@ -1,0 +1,56 @@
+"""The fitted Hockney line recovers the configured machine constants."""
+
+import pytest
+
+from repro.hw import bebop_broadwell, tiny_test_machine
+from repro.models.fitting import fit_p2p, measure_p2p_times
+
+
+class TestMeasure:
+    def test_times_monotone_in_size(self):
+        points = measure_p2p_times(tiny_test_machine())
+        times = [t for _, t in points]
+        assert times == sorted(times)
+
+    def test_custom_sizes(self):
+        points = measure_p2p_times(tiny_test_machine(), sizes=[128, 256])
+        assert [n for n, _ in points] == [128, 256]
+
+    def test_gap_floor_visible_at_tiny_sizes(self):
+        """Below the bandwidth knee, time is flat at the injection gap."""
+        params = tiny_test_machine()
+        pts = dict(measure_p2p_times(params, sizes=[64, 128, 256]))
+        assert pts[64] == pytest.approx(pts[256], rel=1e-9)
+
+
+class TestFit:
+    def test_fit_is_a_line(self):
+        fit = fit_p2p(tiny_test_machine())
+        assert fit.r_squared > 0.9999
+
+    def test_recovers_eager_bandwidth(self):
+        """Eager-path slope = per-process copy bandwidth (the slowest
+        pipeline stage), for both machine presets."""
+        for params in (tiny_test_machine(), bebop_broadwell()):
+            fit = fit_p2p(params)
+            assert fit.bandwidth == pytest.approx(
+                params.proc_bandwidth, rel=0.05
+            )
+
+    def test_recovers_latency_floor(self):
+        """In the bandwidth-paced regime the intercept is the fixed
+        overhead chain (the injection gap is hidden by pipelining)."""
+        params = tiny_test_machine()
+        fit = fit_p2p(params)
+        floor = (
+            params.send_overhead + params.wire_latency + params.recv_overhead
+        )
+        assert fit.alpha == pytest.approx(floor, rel=0.15)
+
+    def test_parameter_changes_show_up_in_the_fit(self):
+        slow = tiny_test_machine().with_overrides(
+            proc_bandwidth=0.5e9, proc_dma_bandwidth=2e9
+        )
+        assert fit_p2p(slow).bandwidth == pytest.approx(0.5e9, rel=0.05)
+        lat = tiny_test_machine().with_overrides(wire_latency=5e-6)
+        assert fit_p2p(lat).alpha > fit_p2p(tiny_test_machine()).alpha + 3e-6

@@ -1,0 +1,141 @@
+"""Analytic model tests: §III formula properties and simulator agreement.
+
+Two layers:
+
+1. the closed-form models themselves exhibit the scaling behaviours the
+   paper derives (linearity, quadratic blow-up, log rounds);
+2. the discrete-event simulator agrees with the models on those
+   behaviours (slopes, not absolute constants — the models ignore
+   contention by construction).
+"""
+
+import pytest
+
+from repro.bench.microbench import run_point
+from repro.hw import bebop_broadwell
+from repro.models import (
+    HockneyParams,
+    allgather_large_time,
+    allgather_small_time,
+    allreduce_large_time,
+    allreduce_small_time,
+    scatter_time,
+)
+from repro.util.units import KB
+
+
+@pytest.fixture(scope="module")
+def h():
+    return HockneyParams.from_machine(bebop_broadwell())
+
+
+class TestHockneyParams:
+    def test_derivation_signs(self, h):
+        assert h.a_r > 0 and h.a_e > 0
+        assert h.b_e < h.b_r  # the fabric streams faster than one core copies
+        assert h.gamma > 0
+
+    def test_p2p_time_linear(self, h):
+        t1 = h.p2p_time(1000)
+        t2 = h.p2p_time(2000)
+        assert t2 - t1 == pytest.approx(1000 * h.b_e)
+
+    def test_latency_floor(self, h):
+        assert h.p2p_time(0) == pytest.approx(h.a_e)
+
+
+class TestModelProperties:
+    N, P = 128, 18
+
+    def test_scatter_linear_in_cb(self, h):
+        """§III-A1: T grows linearly with C_b."""
+        t1 = scatter_time(h, 4 * KB, self.N, self.P)
+        t2 = scatter_time(h, 8 * KB, self.N, self.P)
+        t4 = scatter_time(h, 16 * KB, self.N, self.P)
+        assert (t4 - t2) / (t2 - t1) == pytest.approx(2.0, rel=0.05)
+
+    def test_scatter_log_rounds_in_n(self, h):
+        """Internode start-up term grows with ceil(log_{P+1} N)."""
+        small = 16
+        t19 = scatter_time(h, small, 19, self.P)
+        t361 = scatter_time(h, small, 361, self.P)
+        # one extra round of a_e plus the extra volume
+        assert t361 > t19
+
+    def test_allgather_small_quadratic_vs_large_linear(self, h):
+        """§III-A2/B1: the small algorithm blows up quadratically in C_b,
+        the ring algorithm stays linear — their ratio must diverge."""
+        ratio_at = lambda cb: (
+            allgather_small_time(h, cb, self.N, self.P)
+            / allgather_large_time(h, cb, self.N, self.P)
+        )
+        assert ratio_at(256 * KB) > ratio_at(4 * KB)
+
+    def test_allreduce_large_beats_small_for_big_cb(self, h):
+        cb = 512 * KB
+        assert allreduce_large_time(h, cb, self.N, self.P) < allreduce_small_time(
+            h, cb, self.N, self.P
+        )
+
+    def test_allreduce_small_beats_large_for_tiny_cb(self, h):
+        cb = 128
+        assert allreduce_small_time(h, cb, self.N, self.P) < allreduce_large_time(
+            h, cb, self.N, self.P
+        )
+
+    def test_allreduce_small_log_in_n(self, h):
+        """§III-A3: node count enters only through ceil(log_{P+1} N)."""
+        t_a = allreduce_small_time(h, 128, 19, self.P)
+        t_b = allreduce_small_time(h, 128, 361, self.P)
+        t_c = allreduce_small_time(h, 128, 6859, self.P)
+        # equal increments per extra round
+        assert (t_c - t_b) == pytest.approx(t_b - t_a, rel=0.01)
+
+    def test_single_node_degenerates(self, h):
+        t = scatter_time(h, 1024, 1, self.P)
+        assert t == pytest.approx(h.a_r + self.P * 1024 * h.b_r)
+
+
+class TestSimulatorAgreesWithModels:
+    """Slope agreement between simulation and the §III analysis."""
+
+    NODES, PPN = 8, 4
+
+    def _sim(self, collective, nbytes):
+        return run_point(
+            "PiP-MColl", collective, self.NODES, self.PPN, nbytes
+        ).time
+
+    def test_scatter_linear_slope(self, h):
+        """Doubling C_b roughly doubles both model and simulated time in
+        the bandwidth-dominated regime."""
+        sim_ratio = self._sim("scatter", 256 * KB) / self._sim("scatter", 128 * KB)
+        model_ratio = scatter_time(h, 256 * KB, self.NODES, self.PPN) / scatter_time(
+            h, 128 * KB, self.NODES, self.PPN
+        )
+        assert sim_ratio == pytest.approx(model_ratio, rel=0.25)
+
+    def test_allgather_large_linear_slope(self, h):
+        sim_ratio = self._sim("allgather", 512 * KB) / self._sim(
+            "allgather", 256 * KB
+        )
+        model_ratio = allgather_large_time(
+            h, 512 * KB, self.NODES, self.PPN
+        ) / allgather_large_time(h, 256 * KB, self.NODES, self.PPN)
+        assert sim_ratio == pytest.approx(model_ratio, rel=0.25)
+
+    def test_allreduce_switch_agrees_with_models(self, h):
+        """The simulator's own large-vs-small crossover lands where the
+        models put it: small wins at tiny counts, large wins at big ones."""
+        from repro.bench.microbench import run_point as rp
+
+        def variant_time(lib, nbytes):
+            return rp(lib, "allreduce", self.NODES, self.PPN, nbytes).time
+
+        tiny, big = 128, 512 * KB
+        small_tiny = variant_time("PiP-MColl-small", tiny)
+        full_tiny = variant_time("PiP-MColl", tiny)
+        assert small_tiny == pytest.approx(full_tiny, rel=1e-6)  # same algo
+        small_big = variant_time("PiP-MColl-small", big)
+        full_big = variant_time("PiP-MColl", big)
+        assert full_big < small_big  # switching paid off, as models predict

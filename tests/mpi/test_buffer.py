@@ -1,0 +1,137 @@
+"""Tests for real/phantom buffers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpi import BYTE, DOUBLE, MAX, SUM, Buffer, BufferError
+
+
+class TestConstruction:
+    def test_real_wraps_without_copy(self):
+        arr = np.arange(10, dtype=np.float64)
+        buf = Buffer.real(arr)
+        arr[0] = 99.0
+        assert buf.array()[0] == 99.0
+        assert buf.count == 10
+        assert buf.nbytes == 80
+        assert buf.is_real
+
+    def test_alloc_zeroed(self):
+        buf = Buffer.alloc(DOUBLE, 4)
+        assert np.all(buf.array() == 0.0)
+
+    def test_phantom(self):
+        buf = Buffer.phantom(1024)
+        assert not buf.is_real
+        assert buf.nbytes == 1024
+        with pytest.raises(BufferError):
+            buf.array()
+
+    def test_phantom_alignment_enforced(self):
+        with pytest.raises(BufferError):
+            Buffer.phantom(10, DOUBLE)
+
+    def test_real_requires_1d(self):
+        with pytest.raises(BufferError):
+            Buffer.real(np.zeros((2, 2)))
+
+    def test_unique_base_ids(self):
+        a, b = Buffer.alloc(BYTE, 4), Buffer.alloc(BYTE, 4)
+        assert a.base_id != b.base_id
+
+
+class TestViews:
+    def test_view_shares_storage(self):
+        buf = Buffer.alloc(DOUBLE, 10)
+        v = buf.view(2, 3)
+        v.array()[:] = 7.0
+        assert list(buf.array()[2:5]) == [7.0] * 3
+        assert v.base_id == buf.base_id
+        assert v.offset == 2
+
+    def test_nested_views_track_offset(self):
+        buf = Buffer.alloc(BYTE, 100)
+        v = buf.view(10, 50).view(5, 10)
+        assert v.offset == 15
+
+    def test_view_bounds(self):
+        buf = Buffer.alloc(BYTE, 10)
+        with pytest.raises(BufferError):
+            buf.view(5, 6)
+        with pytest.raises(BufferError):
+            buf.view(-1, 2)
+
+    def test_view_bytes_alignment(self):
+        buf = Buffer.alloc(DOUBLE, 10)
+        v = buf.view_bytes(16, 24)
+        assert v.offset == 2 and v.count == 3
+        with pytest.raises(BufferError):
+            buf.view_bytes(4, 8)
+
+    def test_phantom_views(self):
+        buf = Buffer.phantom(1024)
+        v = buf.view_bytes(128, 256)
+        assert v.nbytes == 256
+        assert not v.is_real
+
+
+class TestDataOps:
+    def test_copy_from(self):
+        src = Buffer.real(np.arange(5, dtype=np.float64))
+        dst = Buffer.alloc(DOUBLE, 5)
+        dst.copy_from(src)
+        assert np.array_equal(dst.array(), src.array())
+
+    def test_reduce_from_sum_and_max(self):
+        a = Buffer.real(np.array([1.0, 5.0, 3.0]))
+        b = Buffer.real(np.array([4.0, 2.0, 3.0]))
+        acc = Buffer.alloc(DOUBLE, 3)
+        acc.copy_from(a)
+        acc.reduce_from(b, SUM)
+        assert list(acc.array()) == [5.0, 7.0, 6.0]
+        acc.copy_from(a)
+        acc.reduce_from(b, MAX)
+        assert list(acc.array()) == [4.0, 5.0, 3.0]
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(BufferError):
+            Buffer.alloc(BYTE, 3).copy_from(Buffer.alloc(BYTE, 4))
+
+    def test_dtype_mismatch_rejected(self):
+        with pytest.raises(BufferError):
+            Buffer.alloc(DOUBLE, 4).copy_from(Buffer.alloc(BYTE, 4))
+
+    def test_real_phantom_mix_rejected(self):
+        with pytest.raises(BufferError):
+            Buffer.alloc(BYTE, 4).copy_from(Buffer.phantom(4))
+
+    def test_phantom_ops_are_noops(self):
+        a, b = Buffer.phantom(64), Buffer.phantom(64)
+        a.copy_from(b)
+        a.reduce_from(b, SUM)
+        a.fill(0)
+
+    def test_snapshot_isolates_data(self):
+        buf = Buffer.real(np.array([1.0, 2.0]))
+        snap = buf.snapshot()
+        buf.array()[0] = 9.0
+        assert snap.array()[0] == 1.0
+
+    def test_fill(self):
+        buf = Buffer.alloc(DOUBLE, 3)
+        buf.fill(2.5)
+        assert list(buf.array()) == [2.5] * 3
+
+
+@given(
+    count=st.integers(1, 64),
+    offset_frac=st.floats(0, 1),
+)
+def test_view_then_copy_roundtrip(count, offset_frac):
+    base = Buffer.alloc(DOUBLE, 128)
+    offset = int(offset_frac * (128 - count))
+    v = base.view(offset, count)
+    src = Buffer.real(np.random.default_rng(0).random(count))
+    v.copy_from(src)
+    assert np.array_equal(base.array()[offset : offset + count], src.array())

@@ -1,0 +1,45 @@
+"""Tests for process groups."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpi.collectives import Group
+
+
+class TestGroup:
+    def test_basic(self):
+        g = Group([4, 2, 9])
+        assert g.size == 3
+        assert g.rank_at(0) == 4
+        assert g.rank_at(2) == 9
+        assert g.index_of(2) == 1
+        assert 9 in g and 5 not in g
+
+    def test_rank_at_wraps(self):
+        g = Group([10, 20, 30])
+        assert g.rank_at(3) == 10
+        assert g.rank_at(-1) == 30
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Group([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Group([1, 2, 1])
+
+    def test_index_of_missing_rank(self):
+        with pytest.raises(ValueError, match="not in group"):
+            Group([0, 1]).index_of(7)
+
+    def test_tag_key_depends_on_membership_and_order(self):
+        assert Group([0, 1, 2]).tag_key == Group([0, 1, 2]).tag_key
+        assert Group([0, 1, 2]).tag_key != Group([0, 1, 3]).tag_key
+        assert Group([0, 1, 2]).tag_key != Group([2, 1, 0]).tag_key
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=50, unique=True))
+    def test_index_roundtrip(self, ranks):
+        g = Group(ranks)
+        for i, r in enumerate(ranks):
+            assert g.index_of(r) == i
+            assert g.rank_at(i) == r

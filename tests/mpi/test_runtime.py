@@ -1,0 +1,148 @@
+"""Tests for the World/RankCtx runtime layer."""
+
+import numpy as np
+import pytest
+
+from repro.hw import Topology, tiny_test_machine
+from repro.mpi import BYTE, DOUBLE, SUM, Buffer, World
+from repro.mpi.collectives import Group
+from repro.shmem import PipShmem, PosixShmem
+
+
+def make_world(nodes=2, ppn=3, phantom=False):
+    return World(
+        Topology(nodes, ppn), tiny_test_machine(), mechanism=PosixShmem(),
+        phantom=phantom,
+    )
+
+
+class TestRankCtx:
+    def test_identity_fields(self):
+        world = make_world(3, 4)
+        ctx = world.ctx(7)
+        assert ctx.rank == 7
+        assert ctx.node == 1
+        assert ctx.local_rank == 3
+        assert ctx.world_size == 12
+        assert ctx.nodes == 3
+        assert ctx.ppn == 4
+        assert not ctx.is_local_root()
+        assert ctx.local_root_rank() == 4
+        assert world.ctx(4).is_local_root()
+
+    def test_rank_helpers(self):
+        world = make_world(2, 2)
+        ctx = world.ctx(0)
+        assert ctx.rank_of(1, 1) == 3
+        assert ctx.node_of(3) == 1
+
+    def test_alloc_respects_data_mode(self):
+        real = make_world().ctx(0).alloc(DOUBLE, 4)
+        assert real.is_real
+        phantom = make_world(phantom=True).ctx(0).alloc(DOUBLE, 4)
+        assert not phantom.is_real
+        assert phantom.nbytes == 32
+
+    def test_alloc_bytes(self):
+        buf = make_world().ctx(0).alloc_bytes(100)
+        assert buf.dtype is BYTE
+        assert buf.nbytes == 100
+
+    def test_op_seq_increments(self):
+        ctx = make_world().ctx(0)
+        assert ctx.next_op_seq() < ctx.next_op_seq()
+
+    def test_collective_tag_group_scoped(self):
+        world = make_world(2, 2)
+        ctx = world.ctx(0)
+        g1 = Group([0, 1])
+        g2 = Group([0, 2])
+        t1a = ctx.collective_tag(g1)
+        t2 = ctx.collective_tag(g2)
+        t1b = ctx.collective_tag(g1)
+        # per-group counters advance independently
+        assert t1a[1] == 1 and t1b[1] == 2 and t2[1] == 1
+        assert t1a[0] == t1b[0] != t2[0]
+
+    def test_compute_advances_time(self):
+        world = make_world()
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.compute(1e-3)
+            else:
+                return
+                yield  # pragma: no cover
+
+        assert world.run(body).elapsed == pytest.approx(1e-3)
+
+    def test_copy_and_reduce_into_move_data_and_time(self):
+        world = make_world()
+        src = Buffer.real(np.array([1.0, 2.0]))
+        dst = Buffer.alloc(DOUBLE, 2)
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.copy(dst, src)
+                yield from ctx.reduce_into(dst, src, SUM)
+
+        r = world.run(body)
+        assert list(dst.array()) == [2.0, 4.0]
+        assert r.elapsed > 0
+
+
+class TestWorldRun:
+    def test_elapsed_is_max_over_ranks(self):
+        world = make_world(1, 3)
+
+        def body(ctx):
+            yield from ctx.compute((ctx.rank + 1) * 1e-4)
+
+        r = world.run(body)
+        assert r.elapsed == pytest.approx(3e-4)
+        assert r.mean_elapsed == pytest.approx(2e-4)
+
+    def test_back_to_back_runs_accumulate_time(self):
+        world = make_world()
+
+        def body(ctx):
+            yield from ctx.compute(1e-4)
+
+        r1 = world.run(body)
+        r2 = world.run(body)
+        assert r2.start >= r1.start + 1e-4
+        assert r2.elapsed == pytest.approx(r1.elapsed)
+
+    def test_run_result_end_times_per_rank(self):
+        world = make_world(1, 2)
+
+        def body(ctx):
+            yield from ctx.compute(1e-4 if ctx.rank else 2e-4)
+
+        r = world.run(body)
+        assert len(r.end_times) == 2
+        assert r.end_times[0] > r.end_times[1]
+
+    def test_reset_pip_boards(self):
+        world = World(
+            Topology(1, 2), tiny_test_machine(), mechanism=PipShmem()
+        )
+
+        def body(ctx):
+            if ctx.local_rank == 0:
+                yield from ctx.pip.board.post("k", 1)
+            else:
+                yield from ctx.pip.board.lookup("k")
+
+        world.run(body)
+        assert world.pip_nodes[0].board._slots
+        world.reset_pip_boards()
+        assert not world.pip_nodes[0].board._slots
+
+    def test_make_library_worlds_are_independent(self):
+        from repro.baselines import make_library
+
+        lib = make_library("OpenMPI")
+        w1 = lib.make_world(Topology(2, 2), tiny_test_machine())
+        w2 = lib.make_world(Topology(2, 2), tiny_test_machine())
+        assert w1.engine is not w2.engine

@@ -1,0 +1,319 @@
+"""Tests for p2p transport: matching, eager/rendezvous, intranode mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.hw import Topology, tiny_test_machine
+from repro.mpi import BYTE, Buffer, World
+from repro.shmem import KernelCopy, PipShmem, PosixShmem, Xpmem
+
+
+def make_world(nodes=2, ppn=2, mechanism=None, **overrides):
+    params = tiny_test_machine()
+    if overrides:
+        params = params.with_overrides(**overrides)
+    return World(Topology(nodes, ppn), params, mechanism=mechanism or PosixShmem())
+
+
+def exchange(world, src, dst, nbytes, fill=7):
+    """Send nbytes from src to dst; return (recv_array, elapsed)."""
+    sendbuf = Buffer.real(np.full(nbytes, fill, dtype=np.uint8))
+    recvbuf = Buffer.alloc(BYTE, nbytes)
+
+    def body(ctx):
+        if ctx.rank == src:
+            yield from ctx.send(dst, sendbuf, tag=1)
+        elif ctx.rank == dst:
+            yield from ctx.recv(src, recvbuf, tag=1)
+        else:
+            return
+            yield  # pragma: no cover
+
+    result = world.run(body)
+    return recvbuf.array(), result.elapsed
+
+
+class TestInternodeEager:
+    def test_data_arrives(self):
+        world = make_world()
+        data, elapsed = exchange(world, 0, 2, 64)
+        assert np.all(data == 7)
+        assert elapsed > 0
+
+    def test_latency_composition(self):
+        world = make_world()
+        p = world.params
+        _, elapsed = exchange(world, 0, 2, 16)
+        # send_overhead + injection gap (the slowest pipeline stage for a
+        # tiny message) + wire latency + recv_overhead
+        expected = (
+            p.send_overhead
+            + 1.0 / p.proc_msg_rate
+            + p.wire_latency
+            + p.recv_overhead
+        )
+        assert elapsed == pytest.approx(expected, rel=1e-9)
+
+    def test_unexpected_message_costs_extra_copy(self):
+        """Receiver posting late pays the bounce-buffer copy."""
+        world = make_world()
+        p = world.params
+        nbytes = 4096
+        sendbuf = Buffer.real(np.full(nbytes, 3, dtype=np.uint8))
+        recvbuf = Buffer.alloc(BYTE, nbytes)
+        late = 1e-3  # recv posted long after arrival
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(2, sendbuf, tag=0)
+            elif ctx.rank == 2:
+                yield from ctx.compute(late)
+                yield from ctx.recv(0, recvbuf, tag=0)
+
+        res = world.run(body)
+        assert np.all(recvbuf.array() == 3)
+        # must include the unexpected-queue copy-out after `late`
+        assert res.elapsed >= late + nbytes / p.core_copy_bw
+
+    def test_sender_may_reuse_buffer_after_send(self):
+        """Eager snapshot: mutating the send buffer after completion is safe."""
+        world = make_world()
+        nbytes = 32
+        sendbuf = Buffer.real(np.full(nbytes, 1, dtype=np.uint8))
+        recvbuf = Buffer.alloc(BYTE, nbytes)
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(2, sendbuf, tag=0)
+                sendbuf.fill(99)  # reuse immediately
+            elif ctx.rank == 2:
+                yield from ctx.compute(1e-3)  # receive long after the overwrite
+                yield from ctx.recv(0, recvbuf, tag=0)
+
+        world.run(body)
+        assert np.all(recvbuf.array() == 1)
+
+
+class TestInternodeRendezvous:
+    def test_large_message_uses_rendezvous_and_arrives(self):
+        world = make_world()
+        nbytes = world.params.eager_threshold + 1024
+        data, elapsed = exchange(world, 0, 2, nbytes)
+        assert np.all(data == 7)
+        p = world.params
+        # must include at least one extra round trip vs pure streaming
+        assert elapsed > nbytes / p.nic_bandwidth + 2 * p.wire_latency
+
+    def test_rendezvous_blocks_sender_until_receiver_posts(self):
+        world = make_world()
+        nbytes = world.params.eager_threshold * 2
+        sendbuf = Buffer.real(np.zeros(nbytes, dtype=np.uint8))
+        recvbuf = Buffer.alloc(BYTE, nbytes)
+        send_done_at = [0.0]
+        delay = 5e-3
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(2, sendbuf, tag=0)
+                send_done_at[0] = ctx.world.engine.now
+            elif ctx.rank == 2:
+                yield from ctx.compute(delay)
+                yield from ctx.recv(0, recvbuf, tag=0)
+
+        world.run(body)
+        assert send_done_at[0] >= delay
+
+
+class TestMatching:
+    def test_tags_disambiguate(self):
+        world = make_world()
+        b1 = Buffer.real(np.full(8, 1, dtype=np.uint8))
+        b2 = Buffer.real(np.full(8, 2, dtype=np.uint8))
+        r1 = Buffer.alloc(BYTE, 8)
+        r2 = Buffer.alloc(BYTE, 8)
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(2, b1, tag=10)
+                yield from ctx.send(2, b2, tag=20)
+            elif ctx.rank == 2:
+                # receive in reverse tag order
+                yield from ctx.recv(0, r2, tag=20)
+                yield from ctx.recv(0, r1, tag=10)
+
+        world.run(body)
+        assert np.all(r1.array() == 1)
+        assert np.all(r2.array() == 2)
+
+    def test_same_tag_non_overtaking(self):
+        world = make_world()
+        bufs = [Buffer.real(np.full(8, i, dtype=np.uint8)) for i in range(3)]
+        recvs = [Buffer.alloc(BYTE, 8) for _ in range(3)]
+
+        def body(ctx):
+            if ctx.rank == 0:
+                for b in bufs:
+                    yield from ctx.send(2, b, tag=5)
+            elif ctx.rank == 2:
+                for r in recvs:
+                    yield from ctx.recv(0, r, tag=5)
+
+        world.run(body)
+        for i, r in enumerate(recvs):
+            assert np.all(r.array() == i)
+
+    def test_size_mismatch_raises(self):
+        world = make_world()
+        sendbuf = Buffer.alloc(BYTE, 8)
+        recvbuf = Buffer.alloc(BYTE, 16)
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(2, sendbuf, tag=0)
+            elif ctx.rank == 2:
+                yield from ctx.recv(0, recvbuf, tag=0)
+
+        with pytest.raises(Exception, match="16B.*8B|8B.*16B"):
+            world.run(body)
+
+    def test_sendrecv_bidirectional_no_deadlock(self):
+        world = make_world(mechanism=PipShmem())  # non-eager mechanism
+        a = Buffer.real(np.full(8, 1, dtype=np.uint8))
+        b = Buffer.real(np.full(8, 2, dtype=np.uint8))
+        ra = Buffer.alloc(BYTE, 8)
+        rb = Buffer.alloc(BYTE, 8)
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.sendrecv(1, a, 1, ra, tag=0)
+            elif ctx.rank == 1:
+                yield from ctx.sendrecv(0, b, 0, rb, tag=0)
+
+        world.run(body)
+        assert np.all(ra.array() == 2)
+        assert np.all(rb.array() == 1)
+
+
+class TestIntranodeMechanisms:
+    @pytest.mark.parametrize(
+        "mech_factory", [PosixShmem, KernelCopy, Xpmem, PipShmem]
+    )
+    def test_data_arrives(self, mech_factory):
+        world = make_world(mechanism=mech_factory())
+        data, elapsed = exchange(world, 0, 1, 256)
+        assert np.all(data == 7)
+        assert elapsed > 0
+
+    def test_posix_is_eager(self):
+        """POSIX sender completes without the receiver posting."""
+        world = make_world(mechanism=PosixShmem())
+        sendbuf = Buffer.alloc(BYTE, 64)
+        recvbuf = Buffer.alloc(BYTE, 64)
+        send_done = [0.0]
+        delay = 1e-2
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, sendbuf, tag=0)
+                send_done[0] = ctx.world.engine.now
+            elif ctx.rank == 1:
+                yield from ctx.compute(delay)
+                yield from ctx.recv(0, recvbuf, tag=0)
+
+        world.run(body)
+        assert send_done[0] < delay
+
+    def test_kernel_copy_blocks_sender_until_receiver(self):
+        world = make_world(mechanism=KernelCopy())
+        sendbuf = Buffer.alloc(BYTE, 64)
+        recvbuf = Buffer.alloc(BYTE, 64)
+        send_done = [0.0]
+        delay = 1e-2
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, sendbuf, tag=0)
+                send_done[0] = ctx.world.engine.now
+            elif ctx.rank == 1:
+                yield from ctx.compute(delay)
+                yield from ctx.recv(0, recvbuf, tag=0)
+
+        world.run(body)
+        assert send_done[0] >= delay
+
+    def test_posix_double_copy_slower_than_pip_for_large(self):
+        nbytes = 1 << 20
+        _, t_posix = exchange(make_world(mechanism=PosixShmem()), 0, 1, nbytes)
+        _, t_pip = exchange(make_world(mechanism=PipShmem()), 0, 1, nbytes)
+        assert t_pip < t_posix
+
+    def test_pip_sizesync_hurts_small_messages(self):
+        _, t_posix = exchange(make_world(mechanism=PosixShmem()), 0, 1, 16)
+        _, t_pip = exchange(make_world(mechanism=PipShmem()), 0, 1, 16)
+        assert t_posix < t_pip
+
+    def test_kernel_copy_pays_syscall_and_faults_once(self):
+        world = make_world(mechanism=KernelCopy())
+        p = world.params
+        nbytes = 4 * p.page_size
+        sendbuf = Buffer.alloc(BYTE, nbytes)
+        recvbuf = Buffer.alloc(BYTE, nbytes)
+        times = []
+
+        def body(ctx):
+            for i in range(2):
+                t0 = ctx.world.engine.now
+                if ctx.rank == 0:
+                    yield from ctx.send(1, sendbuf, tag=i)
+                elif ctx.rank == 1:
+                    yield from ctx.recv(0, recvbuf, tag=i)
+                    times.append(ctx.world.engine.now - t0)
+
+        world.run(body)
+        # second transfer reuses warm pages: strictly cheaper
+        assert times[1] < times[0]
+        assert times[0] - times[1] == pytest.approx(4 * p.page_fault_time, rel=1e-6)
+
+    def test_xpmem_attach_cached_after_first_use(self):
+        world = make_world(mechanism=Xpmem())
+        p = world.params
+        sendbuf = Buffer.alloc(BYTE, 64)
+        recvbuf = Buffer.alloc(BYTE, 64)
+        times = []
+
+        def body(ctx):
+            for i in range(2):
+                t0 = ctx.world.engine.now
+                if ctx.rank == 0:
+                    yield from ctx.send(1, sendbuf, tag=i)
+                elif ctx.rank == 1:
+                    yield from ctx.recv(0, recvbuf, tag=i)
+                    times.append(ctx.world.engine.now - t0)
+
+        world.run(body)
+        assert times[1] < times[0]
+
+
+class TestPhantomMode:
+    def test_phantom_world_times_match_real(self):
+        """Identical timing in real and phantom data modes."""
+
+        def run(phantom):
+            params = tiny_test_machine()
+            world = World(Topology(2, 2), params, mechanism=PosixShmem(),
+                          phantom=phantom)
+            sendbuf = (
+                Buffer.phantom(512) if phantom
+                else Buffer.real(np.zeros(512, dtype=np.uint8))
+            )
+            recvbuf = Buffer.phantom(512) if phantom else Buffer.alloc(BYTE, 512)
+
+            def body(ctx):
+                if ctx.rank == 0:
+                    yield from ctx.send(3, sendbuf, tag=0)
+                elif ctx.rank == 3:
+                    yield from ctx.recv(0, recvbuf, tag=0)
+
+            return world.run(body).elapsed
+
+        assert run(True) == pytest.approx(run(False))

@@ -1,0 +1,173 @@
+"""Correctness of the vector (v-) collectives with irregular layouts."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.mpi import DOUBLE, Buffer
+from repro.mpi.collectives.vector import (
+    allgatherv_ring,
+    gatherv_linear,
+    scatterv_linear,
+)
+
+from tests.helpers import make_world, world_group
+
+
+def layout(counts):
+    displs = []
+    acc = 0
+    for c in counts:
+        displs.append(acc)
+        acc += c
+    return list(counts), displs, acc
+
+
+class TestScatterv:
+    @pytest.mark.parametrize(
+        "counts", [[3, 1, 4, 2], [0, 5, 0, 2], [1, 1, 1, 1], [7, 0, 0, 0]]
+    )
+    def test_irregular_blocks(self, counts):
+        world = make_world(2, 2)
+        group = world_group(world)
+        counts, displs, total = layout(counts)
+        full = np.arange(total, dtype=np.float64)
+        sendbuf = Buffer.real(full.copy())
+        recvs = [Buffer.alloc(DOUBLE, counts[r]) for r in range(4)]
+
+        def body(ctx):
+            sb = sendbuf if ctx.rank == 0 else None
+            yield from scatterv_linear(
+                ctx, group, sb, counts, displs, recvs[ctx.rank]
+            )
+
+        world.run(body)
+        for i, r in enumerate(recvs):
+            assert np.array_equal(
+                r.array(), full[displs[i]:displs[i] + counts[i]]
+            ), i
+
+    def test_nonzero_root_and_overlapping_displs(self):
+        """displs need not be contiguous — ranks may receive overlapping
+        or gapped slices of the root buffer."""
+        world = make_world(3, 1)
+        group = world_group(world)
+        counts = [2, 2, 2]
+        displs = [0, 1, 4]  # overlapping + gapped
+        full = np.arange(8, dtype=np.float64)
+        sendbuf = Buffer.real(full.copy())
+        recvs = [Buffer.alloc(DOUBLE, 2) for _ in range(3)]
+
+        def body(ctx):
+            sb = sendbuf if ctx.rank == 1 else None
+            yield from scatterv_linear(
+                ctx, group, sb, counts, displs, recvs[ctx.rank], root_index=1
+            )
+
+        world.run(body)
+        for i in range(3):
+            assert np.array_equal(
+                recvs[i].array(), full[displs[i]:displs[i] + 2]
+            )
+
+    def test_layout_validation(self):
+        world = make_world(2, 1)
+        group = world_group(world)
+        buf = Buffer.alloc(DOUBLE, 2)
+
+        def body(ctx):
+            yield from scatterv_linear(
+                ctx, group, None, [1], [0], buf
+            )
+
+        with pytest.raises(ValueError, match="one entry per rank"):
+            world.run(body)
+
+
+class TestGatherv:
+    @pytest.mark.parametrize("counts", [[2, 3, 0, 1], [4, 4, 4, 4]])
+    def test_irregular_blocks(self, counts):
+        world = make_world(2, 2)
+        group = world_group(world)
+        counts, displs, total = layout(counts)
+        rng = np.random.default_rng(0)
+        inputs = [Buffer.real(rng.random(c)) for c in counts]
+        recvbuf = Buffer.alloc(DOUBLE, total)
+
+        def body(ctx):
+            rb = recvbuf if ctx.rank == 0 else None
+            yield from gatherv_linear(
+                ctx, group, inputs[ctx.rank], counts, displs, rb
+            )
+
+        world.run(body)
+        expected = np.concatenate(
+            [b.array() for b in inputs if b.count]
+        ) if total else np.array([])
+        assert np.array_equal(recvbuf.array(), expected)
+
+    def test_sendbuf_count_must_match(self):
+        world = make_world(2, 1)
+        group = world_group(world)
+        wrong = Buffer.alloc(DOUBLE, 3)
+        recvbuf = Buffer.alloc(DOUBLE, 4)
+
+        def body(ctx):
+            rb = recvbuf if ctx.rank == 0 else None
+            yield from gatherv_linear(ctx, group, wrong, [2, 2], [0, 2], rb)
+
+        with pytest.raises(ValueError, match="my count"):
+            world.run(body)
+
+
+class TestAllgatherv:
+    @pytest.mark.parametrize(
+        "counts", [[1, 3, 2, 4], [0, 2, 0, 2], [5, 5, 5, 5]]
+    )
+    def test_everyone_gets_the_layout(self, counts):
+        world = make_world(4, 1)
+        group = world_group(world)
+        counts, displs, total = layout(counts)
+        rng = np.random.default_rng(1)
+        inputs = [Buffer.real(rng.random(c)) for c in counts]
+        outputs = [Buffer.alloc(DOUBLE, total) for _ in range(4)]
+        expected = np.concatenate(
+            [b.array() for b in inputs if b.count]
+        ) if total else np.array([])
+
+        def body(ctx):
+            yield from allgatherv_ring(
+                ctx, group, inputs[ctx.rank], counts, displs, outputs[ctx.rank]
+            )
+
+        world.run(body)
+        for out in outputs:
+            assert np.array_equal(out.array(), expected)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        counts=st.lists(st.integers(0, 8), min_size=2, max_size=8),
+        seed=st.integers(0, 10**6),
+    )
+    def test_property_random_layouts(self, counts, seed):
+        size = len(counts)
+        world = make_world(size, 1)
+        group = world_group(world)
+        counts, displs, total = layout(counts)
+        rng = np.random.default_rng(seed)
+        inputs = [Buffer.real(rng.random(c)) for c in counts]
+        outputs = [Buffer.alloc(DOUBLE, max(total, 1)) for _ in range(size)]
+
+        def body(ctx):
+            yield from allgatherv_ring(
+                ctx, group, inputs[ctx.rank], counts, displs, outputs[ctx.rank]
+            )
+
+        world.run(body)
+        for out in outputs:
+            for i in range(size):
+                assert np.array_equal(
+                    out.array()[displs[i]:displs[i] + counts[i]],
+                    inputs[i].array(),
+                )

@@ -1,0 +1,168 @@
+"""Tests for the PiP node environment: address board, shared counters."""
+
+import pytest
+
+from repro.hw import tiny_test_machine
+from repro.shmem import PipNode
+from repro.sim import Engine
+
+
+@pytest.fixture()
+def node():
+    return PipNode(Engine(), tiny_test_machine(), node=0)
+
+
+class TestAddressBoard:
+    def test_post_then_lookup(self, node):
+        eng = node.engine
+        got = []
+
+        def poster():
+            yield from node.board.post("key", "value")
+
+        def reader():
+            v = yield from node.board.lookup("key")
+            got.append((eng.now, v))
+
+        eng.spawn(reader())
+        eng.spawn(poster())
+        eng.run()
+        assert got[0][1] == "value"
+        # lookup costs at least the post + flag-poll time
+        p = node.params
+        assert got[0][0] >= p.pip_post_time + p.pip_flag_time
+
+    def test_lookup_blocks_until_posted(self, node):
+        eng = node.engine
+        times = {}
+
+        def poster():
+            from repro.sim import Delay
+
+            yield Delay(5e-6)
+            yield from node.board.post("k", 42)
+
+        def reader():
+            v = yield from node.board.lookup("k")
+            times["read"] = eng.now
+            assert v == 42
+
+        eng.spawn(reader())
+        eng.spawn(poster())
+        eng.run()
+        assert times["read"] >= 5e-6
+
+    def test_multiple_readers_one_post(self, node):
+        eng = node.engine
+        got = []
+
+        def poster():
+            yield from node.board.post("k", "x")
+
+        def reader(i):
+            v = yield from node.board.lookup("k")
+            got.append((i, v))
+
+        for i in range(4):
+            eng.spawn(reader(i))
+        eng.spawn(poster())
+        eng.run()
+        assert sorted(got) == [(i, "x") for i in range(4)]
+
+    def test_post_charges_time(self, node):
+        eng = node.engine
+
+        def poster():
+            yield from node.board.post("k", 1)
+
+        eng.spawn(poster())
+        eng.run()
+        assert eng.now == pytest.approx(node.params.pip_post_time)
+
+    def test_clear_drops_slots(self, node):
+        eng = node.engine
+
+        def poster():
+            yield from node.board.post("k", 1)
+
+        eng.spawn(poster())
+        eng.run()
+        node.clear()
+        assert node.board._slots == {}
+
+
+class TestSharedCounter:
+    def test_add_and_wait(self, node):
+        eng = node.engine
+        counter = node.counter("c")
+        order = []
+
+        def bumper(i):
+            yield from counter.add(1)
+            order.append(f"add{i}")
+
+        def waiter():
+            v = yield from counter.wait_at_least(3)
+            order.append(("woke", v))
+
+        eng.spawn(waiter())
+        for i in range(3):
+            eng.spawn(bumper(i))
+        eng.run()
+        assert order[-1] == ("woke", 3)
+        assert counter.value == 3
+
+    def test_wait_on_already_reached_threshold(self, node):
+        eng = node.engine
+        counter = node.counter("c")
+
+        def body():
+            yield from counter.add(5)
+            v = yield from counter.wait_at_least(2)
+            return v
+
+        proc = eng.spawn(body())
+        eng.run()
+        assert proc.result == 5
+
+    def test_counters_are_namespaced(self, node):
+        assert node.counter("a") is not node.counter("b")
+        assert node.counter("a") is node.counter("a")
+
+    def test_flag_costs_charged(self, node):
+        eng = node.engine
+        counter = node.counter("c")
+
+        def body():
+            yield from counter.add(1)
+            yield from counter.wait_at_least(1)
+
+        eng.spawn(body())
+        eng.run()
+        # one flag write + one satisfied-wait flag read
+        assert eng.now == pytest.approx(2 * node.params.pip_flag_time)
+
+    def test_multiple_thresholds_wake_in_order(self, node):
+        eng = node.engine
+        counter = node.counter("c")
+        woke = []
+
+        def waiter(threshold):
+            yield from counter.wait_at_least(threshold)
+            woke.append(threshold)
+
+        def bumper():
+            for _ in range(4):
+                yield from counter.add(1)
+
+        eng.spawn(waiter(4))
+        eng.spawn(waiter(2))
+        eng.spawn(waiter(1))
+        eng.spawn(bumper())
+        eng.run()
+        assert woke == [1, 2, 4]
+
+    def test_fresh_namespace_monotonic(self, node):
+        a = node.fresh_namespace()
+        b = node.fresh_namespace()
+        assert b > a

@@ -1,0 +1,233 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    DeadlockError,
+    Delay,
+    Engine,
+    SimulationError,
+    WaitAll,
+    WaitEvent,
+)
+
+
+def test_delay_orders_processes():
+    eng = Engine()
+    log = []
+
+    def worker(name, dt):
+        yield Delay(dt)
+        log.append((eng.now, name))
+
+    eng.spawn(worker("slow", 2.0))
+    eng.spawn(worker("fast", 1.0))
+    eng.run()
+    assert log == [(1.0, "fast"), (2.0, "slow")]
+
+
+def test_zero_delay_preserves_spawn_order():
+    eng = Engine()
+    log = []
+
+    def worker(name):
+        yield Delay(0.0)
+        log.append(name)
+
+    for name in "abc":
+        eng.spawn(worker(name))
+    eng.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Delay(-1.0)
+
+
+def test_event_passes_value():
+    eng = Engine()
+    ev = eng.event("data")
+    got = []
+
+    def producer():
+        yield Delay(3.0)
+        ev.trigger("payload")
+
+    def consumer():
+        value = yield WaitEvent(ev)
+        got.append((eng.now, value))
+
+    eng.spawn(consumer())
+    eng.spawn(producer())
+    eng.run()
+    assert got == [(3.0, "payload")]
+
+
+def test_wait_on_already_triggered_event():
+    eng = Engine()
+    ev = eng.event()
+
+    def body():
+        yield Delay(1.0)
+        ev.trigger(42)
+        value = yield WaitEvent(ev)
+        return value
+
+    proc = eng.spawn(body())
+    eng.run()
+    assert proc.result == 42
+    assert eng.now == 1.0
+
+
+def test_event_double_trigger_rejected():
+    eng = Engine()
+    ev = eng.event()
+    ev.trigger()
+    with pytest.raises(SimulationError):
+        ev.trigger()
+
+
+def test_wait_all_collects_values_in_order():
+    eng = Engine()
+    evs = [eng.event(str(i)) for i in range(3)]
+
+    def trigger(i, dt):
+        yield Delay(dt)
+        evs[i].trigger(i * 10)
+
+    def waiter():
+        values = yield WaitAll(evs)
+        return (eng.now, values)
+
+    proc = eng.spawn(waiter())
+    # trigger out of order; results must come back in argument order
+    eng.spawn(trigger(1, 1.0))
+    eng.spawn(trigger(0, 5.0))
+    eng.spawn(trigger(2, 2.0))
+    eng.run()
+    assert proc.result == (5.0, [0, 10, 20])
+
+
+def test_wait_all_empty_resumes_immediately():
+    eng = Engine()
+
+    def waiter():
+        values = yield WaitAll([])
+        return values
+
+    proc = eng.spawn(waiter())
+    eng.run()
+    assert proc.result == []
+
+
+def test_process_return_value_and_done_event():
+    eng = Engine()
+
+    def body():
+        yield Delay(1.5)
+        return "finished"
+
+    proc = eng.spawn(body())
+    assert not proc.finished
+    eng.run()
+    assert proc.finished
+    assert proc.result == "finished"
+
+
+def test_nested_generators_via_yield_from():
+    eng = Engine()
+
+    def inner():
+        yield Delay(1.0)
+        return 7
+
+    def outer():
+        value = yield from inner()
+        yield Delay(1.0)
+        return value + 1
+
+    proc = eng.spawn(outer())
+    eng.run()
+    assert proc.result == 8
+    assert eng.now == 2.0
+
+
+def test_deadlock_detection():
+    eng = Engine()
+
+    def blocked():
+        yield WaitEvent(eng.event("never"))
+
+    eng.spawn(blocked())
+    with pytest.raises(DeadlockError):
+        eng.run()
+
+
+def test_run_until_stops_early():
+    eng = Engine()
+
+    def body():
+        yield Delay(10.0)
+
+    eng.spawn(body())
+    t = eng.run(until=5.0)
+    assert t == 5.0
+    eng.run()
+    assert eng.now == 10.0
+
+
+def test_timeout_event():
+    eng = Engine()
+    ev = eng.timeout(4.0, value="late")
+
+    def waiter():
+        value = yield WaitEvent(ev)
+        return (eng.now, value)
+
+    proc = eng.spawn(waiter())
+    eng.run()
+    assert proc.result == (4.0, "late")
+
+
+def test_cannot_schedule_in_past():
+    eng = Engine()
+
+    def body():
+        yield Delay(2.0)
+        eng.call_at(1.0, lambda: None)
+
+    eng.spawn(body())
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_exception_in_process_propagates():
+    eng = Engine()
+
+    def body():
+        yield Delay(1.0)
+        raise RuntimeError("boom")
+
+    eng.spawn(body())
+    with pytest.raises(RuntimeError, match="boom"):
+        eng.run()
+
+
+def test_many_processes_deterministic():
+    def run_once():
+        eng = Engine()
+        log = []
+
+        def worker(i):
+            yield Delay((i * 7) % 5)
+            log.append(i)
+            yield Delay((i * 3) % 4)
+            log.append(-i)
+
+        for i in range(50):
+            eng.spawn(worker(i))
+        eng.run()
+        return log
+
+    assert run_once() == run_once()

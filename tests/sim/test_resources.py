@@ -1,0 +1,106 @@
+"""Unit and property tests for queueing resources."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.resources import MultiServer, RateLimiter, Server
+
+
+class TestServer:
+    def test_idle_server_starts_immediately(self):
+        s = Server()
+        assert s.reserve(5.0, 2.0) == (5.0, 7.0)
+
+    def test_back_to_back_requests_queue(self):
+        s = Server()
+        assert s.reserve(0.0, 10.0) == (0.0, 10.0)
+        assert s.reserve(5.0, 1.0) == (10.0, 11.0)
+
+    def test_gap_leaves_server_idle(self):
+        s = Server()
+        s.reserve(0.0, 1.0)
+        assert s.reserve(100.0, 1.0) == (100.0, 101.0)
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(ValueError):
+            Server().reserve(0.0, -1.0)
+
+    def test_accounting(self):
+        s = Server()
+        s.reserve(0.0, 2.0)
+        s.reserve(0.0, 3.0)
+        assert s.busy_time == 5.0
+        assert s.served == 2
+
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 10)), max_size=50))
+    def test_fifo_windows_never_overlap(self, reqs):
+        s = Server()
+        t = 0.0
+        windows = []
+        for arrival_gap, service in reqs:
+            t += arrival_gap
+            windows.append(s.reserve(t, service))
+        for (s1, e1), (s2, e2) in zip(windows, windows[1:]):
+            assert e1 <= s2 or s2 == e1  # strictly ordered, no overlap
+            assert s2 >= s1
+
+
+class TestMultiServer:
+    def test_parallel_up_to_capacity(self):
+        ms = MultiServer(2)
+        assert ms.reserve(0.0, 10.0) == (0.0, 10.0)
+        assert ms.reserve(0.0, 10.0) == (0.0, 10.0)
+        # third request queues behind the earliest-free server
+        assert ms.reserve(0.0, 1.0) == (10.0, 11.0)
+
+    def test_single_server_degenerates_to_server(self):
+        ms, s = MultiServer(1), Server()
+        for now, svc in [(0, 5), (1, 2), (8, 1)]:
+            assert ms.reserve(now, svc) == s.reserve(now, svc)
+
+    def test_requires_at_least_one_server(self):
+        with pytest.raises(ValueError):
+            MultiServer(0)
+
+    @given(
+        c=st.integers(1, 8),
+        reqs=st.lists(st.floats(0.1, 5.0), min_size=1, max_size=40),
+    )
+    def test_concurrency_never_exceeds_capacity(self, c, reqs):
+        ms = MultiServer(c)
+        windows = [ms.reserve(0.0, svc) for svc in reqs]
+        # at any window start, count overlapping windows
+        for i, (si, ei) in enumerate(windows):
+            overlapping = sum(
+                1 for (sj, ej) in windows if sj <= si < ej
+            )
+            assert overlapping <= c
+
+
+class TestRateLimiter:
+    def test_spaces_admissions_at_rate(self):
+        rl = RateLimiter(2.0)  # 2/s -> 0.5s interval
+        assert rl.admit(0.0) == 0.0
+        assert rl.admit(0.0) == 0.5
+        assert rl.admit(0.0) == 1.0
+
+    def test_idle_limiter_admits_immediately(self):
+        rl = RateLimiter(10.0)
+        rl.admit(0.0)
+        assert rl.admit(5.0) == 5.0
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            RateLimiter(0.0)
+
+    @given(st.lists(st.floats(0, 10), min_size=2, max_size=50))
+    def test_sustained_rate_never_exceeded(self, arrivals):
+        rate = 4.0
+        rl = RateLimiter(rate)
+        t = 0.0
+        admitted = []
+        for gap in arrivals:
+            t += gap
+            admitted.append(rl.admit(t))
+        for a, b in zip(admitted, admitted[1:]):
+            assert b - a >= 1.0 / rate - 1e-12

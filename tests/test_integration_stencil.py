@@ -1,0 +1,118 @@
+"""End-to-end application integration test: a 1-D heat-diffusion stencil.
+
+Each rank owns a contiguous slab of the domain; every timestep it halo-
+exchanges boundary cells with its neighbours (p2p), applies the stencil,
+and every few steps the cluster allreduces the global residual to decide
+convergence.  The simulated result must equal a plain single-process numpy
+computation bit-for-bit — across libraries, mechanisms, and cluster
+shapes.  This exercises p2p + collectives + real data in one realistic
+program, the way an actual MPI application composes them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_library
+from repro.hw import Topology, tiny_test_machine
+from repro.mpi import DOUBLE, SUM, Buffer
+
+CELLS_PER_RANK = 16
+STEPS = 6
+ALPHA = 0.1
+
+
+def reference_solution(initial: np.ndarray) -> tuple[np.ndarray, list[float]]:
+    """Single-process ground truth (fixed boundaries)."""
+    u = initial.copy()
+    residuals = []
+    for _ in range(STEPS):
+        nxt = u.copy()
+        nxt[1:-1] = u[1:-1] + ALPHA * (u[:-2] - 2 * u[1:-1] + u[2:])
+        residuals.append(float(np.sum((nxt - u) ** 2)))
+        u = nxt
+    return u, residuals
+
+
+def simulated_solution(lib_name: str, shape: tuple[int, int]):
+    lib = make_library(lib_name)
+    world = lib.make_world(Topology(*shape), tiny_test_machine())
+    size = world.world_size
+    n = size * CELLS_PER_RANK
+
+    rng = np.random.default_rng(0)
+    initial = rng.random(n)
+
+    slabs = [
+        Buffer.real(initial[r * CELLS_PER_RANK:(r + 1) * CELLS_PER_RANK].copy())
+        for r in range(size)
+    ]
+    halo_lo = [Buffer.alloc(DOUBLE, 1) for _ in range(size)]
+    halo_hi = [Buffer.alloc(DOUBLE, 1) for _ in range(size)]
+    local_res = [Buffer.alloc(DOUBLE, 1) for _ in range(size)]
+    global_res = [Buffer.alloc(DOUBLE, 1) for _ in range(size)]
+    residual_log = []
+
+    def body(ctx):
+        me = ctx.rank
+        u = slabs[me]
+        for step in range(STEPS):
+            # halo exchange with neighbours (edges have fixed boundaries)
+            reqs = []
+            if me > 0:
+                reqs.append(ctx.irecv(me - 1, halo_lo[me], tag=("h", step, 0)))
+                sreq = yield from ctx.isend(
+                    me - 1, u.view(0, 1), tag=("h", step, 1)
+                )
+                reqs.append(sreq)
+            if me < ctx.world_size - 1:
+                reqs.append(ctx.irecv(me + 1, halo_hi[me], tag=("h", step, 1)))
+                sreq = yield from ctx.isend(
+                    me + 1, u.view(CELLS_PER_RANK - 1, 1), tag=("h", step, 0)
+                )
+                reqs.append(sreq)
+            yield from ctx.waitall(reqs)
+
+            # stencil update (ghost cells from halos; global edges fixed)
+            arr = u.array()
+            left = halo_lo[me].array()[0] if me > 0 else None
+            right = halo_hi[me].array()[0] if me < ctx.world_size - 1 else None
+            ext = np.empty(CELLS_PER_RANK + 2)
+            ext[1:-1] = arr
+            ext[0] = left if left is not None else arr[0]
+            ext[-1] = right if right is not None else arr[-1]
+            nxt = arr.copy()
+            lo = 1 if me == 0 else 0
+            hi = CELLS_PER_RANK - 1 if me == ctx.world_size - 1 else CELLS_PER_RANK
+            idx = np.arange(lo, hi)
+            nxt[idx] = arr[idx] + ALPHA * (
+                ext[idx] - 2 * arr[idx] + ext[idx + 2]
+            )
+            yield from ctx.compute(1e-7)
+
+            local_res[me].array()[0] = float(np.sum((nxt - arr) ** 2))
+            arr[:] = nxt
+            yield from lib.allreduce(ctx, local_res[me], global_res[me], SUM)
+            if me == 0:
+                residual_log.append(float(global_res[0].array()[0]))
+
+    world.run(body)
+    final = np.concatenate([s.array() for s in slabs])
+    return initial, final, residual_log
+
+
+@pytest.mark.parametrize("lib_name", ["PiP-MColl", "PiP-MPICH", "IntelMPI"])
+@pytest.mark.parametrize("shape", [(1, 4), (2, 3), (4, 2)])
+def test_stencil_matches_single_process_numpy(lib_name, shape):
+    initial, final, residuals = simulated_solution(lib_name, shape)
+    expected_final, expected_residuals = reference_solution(initial)
+    np.testing.assert_allclose(final, expected_final, rtol=1e-12)
+    np.testing.assert_allclose(residuals, expected_residuals, rtol=1e-9)
+
+
+def test_all_libraries_agree_bitwise_on_field(ns=None):
+    fields = []
+    for lib_name in ("PiP-MColl", "OpenMPI", "MVAPICH2"):
+        _, final, _ = simulated_solution(lib_name, (2, 2))
+        fields.append(final)
+    for other in fields[1:]:
+        assert np.array_equal(fields[0], other)

@@ -1,0 +1,114 @@
+"""Tests for unit parsing/formatting and integer math helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    KB,
+    MB,
+    ceil_div,
+    fmt_rate,
+    fmt_size,
+    fmt_time,
+    ilog,
+    is_power_of,
+    parse_size,
+)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("16", 16),
+            ("16B", 16),
+            ("1kB", 1024),
+            ("64kb", 64 * KB),
+            ("1 MB", MB),
+            ("2MiB", 2 * MB),
+            ("512 kB", 512 * KB),
+            (128, 128),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "abc", "12 XB", "-5"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_size(text)
+
+    def test_negative_int(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_fractional_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("0.3B")
+
+    @given(st.integers(0, 10**12))
+    def test_roundtrip_through_fmt(self, n):
+        assert parse_size(fmt_size(n)) == n
+
+
+class TestFmt:
+    def test_fmt_size(self):
+        assert fmt_size(512) == "512B"
+        assert fmt_size(64 * KB) == "64kB"
+        assert fmt_size(3 * MB) == "3MB"
+        assert fmt_size(KB + 1) == "1025B"
+
+    def test_fmt_time(self):
+        assert fmt_time(0) == "0s"
+        assert fmt_time(1.5) == "1.500s"
+        assert fmt_time(2e-3) == "2.000ms"
+        assert fmt_time(3.5e-6) == "3.500us"
+        assert fmt_time(5e-9) == "5.0ns"
+
+    def test_fmt_rate(self):
+        assert fmt_rate(97e6) == "97.00M/s"
+        assert fmt_rate(1.5e9) == "1.50G/s"
+        assert fmt_rate(250.0) == "250.00/s"
+        assert fmt_rate(2500.0) == "2.50k/s"
+
+
+class TestIntMath:
+    @pytest.mark.parametrize(
+        "a,b,expected", [(0, 3, 0), (1, 3, 1), (3, 3, 1), (4, 3, 2), (9, 3, 3)]
+    )
+    def test_ceil_div(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_ceil_div_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_ceil_div_matches_float(self, a, b):
+        import math
+
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+    @pytest.mark.parametrize(
+        "base,n,expected", [(2, 1, 0), (2, 2, 1), (2, 7, 2), (19, 361, 2), (19, 360, 1)]
+    )
+    def test_ilog(self, base, n, expected):
+        assert ilog(base, n) == expected
+
+    @given(st.integers(2, 50), st.integers(1, 10**12))
+    def test_ilog_definition(self, base, n):
+        k = ilog(base, n)
+        assert base**k <= n < base ** (k + 1)
+
+    def test_is_power_of(self):
+        assert is_power_of(2, 8)
+        assert is_power_of(19, 1)
+        assert is_power_of(19, 19 * 19)
+        assert not is_power_of(19, 38)
+        assert not is_power_of(2, 0)
+
+    @given(st.integers(2, 30), st.integers(0, 6))
+    def test_powers_are_powers(self, base, k):
+        assert is_power_of(base, base**k)
