@@ -6,6 +6,14 @@ it runs the figure's sweep once inside pytest-benchmark (so
 prints the absolute and normalised tables, writes them under
 ``results/``, and asserts the figure's headline *shape* (who wins where).
 
+Sweep points execute through :mod:`repro.bench.runner`, so the usual env
+knobs apply here too: ``PIPMCOLL_JOBS`` fans points out across a process
+pool, ``PIPMCOLL_CACHE=0`` disables the ``.bench_cache/`` memoization, and
+``PIPMCOLL_PROGRESS=1`` prints per-point progress to stderr.  Results are
+bit-identical in every mode.  Note that with the cache warm, the benchmark
+times the cache, not the simulator — pass ``PIPMCOLL_CACHE=0`` (or use
+``--refresh`` via ``repro.bench.record``) when timing regenerations.
+
 Scale is controlled by ``PIPMCOLL_SCALE`` (default ``medium``; see
 ``repro.bench.config``).
 """
@@ -16,13 +24,17 @@ from pathlib import Path
 
 from repro.bench.config import current_scale
 from repro.bench.report import FigureResult, format_normalized, format_table
+from repro.bench.runner import default_runner
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
 def run_figure(benchmark, figure_fn, cap: float | None = None) -> FigureResult:
     """Run one figure sweep under pytest-benchmark and persist its tables."""
-    result = benchmark.pedantic(figure_fn, rounds=1, iterations=1)
+    runner = default_runner()
+    result = benchmark.pedantic(
+        lambda: figure_fn(runner=runner), rounds=1, iterations=1
+    )
     text = format_table(result)
     if "PiP-MColl" in result.series:
         text += "\n" + format_normalized(result, cap=cap)

@@ -14,13 +14,18 @@ Four studies, each isolating one ingredient of PiP-MColl's performance:
   it; sweeping the handshake cost shows who depends on it.
 * **algorithm switch point** — the 64 kB allgather threshold (§IV-D2)
   against earlier/later switches.
+
+The first and third studies compare registry libraries under
+``MachineParams`` overrides, so they submit declarative ``Point``s through
+:mod:`repro.bench.runner` (pool + cache apply).  The overlap and
+switch-point studies need non-registry knobs (``overlap=``,
+``Thresholds``) and stay direct.
 """
 
-import numpy as np
 import pytest
 
-from repro.baselines import make_library
 from repro.bench.config import current_scale
+from repro.bench.runner import Point, run_points
 from repro.core import PiPMColl, Thresholds, mcoll_allgather_large, mcoll_scatter
 from repro.hw import Topology, bebop_broadwell
 from repro.mpi import SUM, Buffer, World
@@ -97,21 +102,18 @@ def test_ablation_multiobject_fanout(benchmark):
             proc_bandwidth=realistic.nic_bandwidth,
             proc_dma_bandwidth=realistic.nic_bandwidth,
         )
+        scale = current_scale()
+        variants = (("realistic", realistic), ("uncapped", uncapped))
+        points = [
+            Point(lib, "scatter", scale.nodes, scale.ppn, 256, params=params)
+            for _, params in variants
+            for lib in ("PiP-MColl", "PiP-MPICH")
+        ]
+        results = run_points(points)
         out = {}
-        for label, params in (("realistic", realistic), ("uncapped", uncapped)):
-            mcoll, mpich = make_library("PiP-MColl"), make_library("PiP-MPICH")
-            wa = mcoll.make_world(
-                Topology(current_scale().nodes, current_scale().ppn), params,
-                phantom=True,
-            )
-            wb = mpich.make_world(
-                Topology(current_scale().nodes, current_scale().ppn), params,
-                phantom=True,
-            )
-            out[label] = (
-                _lib_time(mpich, wb, "scatter", 256)
-                / _lib_time(mcoll, wa, "scatter", 256)
-            )
+        for i, (label, _) in enumerate(variants):
+            mcoll_t, mpich_t = results[2 * i].time, results[2 * i + 1].time
+            out[label] = mpich_t / mcoll_t
         return out
 
     speedups = benchmark.pedantic(study, rounds=1, iterations=1)
@@ -148,20 +150,21 @@ def test_ablation_pip_sizesync_sensitivity(benchmark):
     """PiP-MPICH degrades with the handshake cost; PiP-MColl barely moves."""
 
     def study():
-        out = {}
+        scale = current_scale()
+        keys, points = [], []
         for factor in (1.0, 4.0):
             params = bebop_broadwell()
             params = params.with_overrides(
                 pip_sizesync_time=params.pip_sizesync_time * factor
             )
             for name in ("PiP-MColl", "PiP-MPICH"):
-                lib = make_library(name)
-                world = lib.make_world(
-                    Topology(current_scale().nodes, current_scale().ppn),
-                    params, phantom=True,
+                keys.append((name, factor))
+                points.append(
+                    Point(name, "allgather", scale.nodes, scale.ppn, 64,
+                          params=params)
                 )
-                out[(name, factor)] = _lib_time(lib, world, "allgather", 64)
-        return out
+        results = run_points(points)
+        return {k: r.time for k, r in zip(keys, results)}
 
     t = benchmark.pedantic(study, rounds=1, iterations=1)
     mcoll_growth = t[("PiP-MColl", 4.0)] / t[("PiP-MColl", 1.0)]

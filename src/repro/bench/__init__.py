@@ -9,8 +9,20 @@ from repro.bench.microbench import (
     run_point,
 )
 from repro.bench.report import FigureResult, format_normalized, format_table
+from repro.bench.runner import (
+    Point,
+    ResultCache,
+    SweepRunner,
+    expand_sweep,
+    run_points,
+)
 
 __all__ = [
+    "Point",
+    "ResultCache",
+    "SweepRunner",
+    "expand_sweep",
+    "run_points",
     "SCALES",
     "BenchScale",
     "current_scale",

@@ -7,6 +7,14 @@ not measurements, and have no bench.
 
 Message-size axes follow the paper exactly; at reduced scales only the
 cluster shape changes (see ``config``).
+
+Execution goes through :mod:`repro.bench.runner`: every sweep expands into
+declarative :class:`~repro.bench.runner.Point` specs and is submitted to a
+:class:`~repro.bench.runner.SweepRunner` — parallel across a process pool
+and memoized on disk, with results bit-identical to the old serial loops.
+Pass ``runner=`` to control jobs/caching programmatically, or use the
+``PIPMCOLL_JOBS`` / ``PIPMCOLL_CACHE`` environment knobs (see the runner
+module docs and ``python -m repro.bench.record --help``).
 """
 
 from __future__ import annotations
@@ -15,8 +23,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.registry import library_names
 from repro.bench.config import BenchScale, current_scale
-from repro.bench.microbench import run_point
 from repro.bench.report import FigureResult
+from repro.bench.runner import Point, SweepRunner, expand_sweep, run_points
 from repro.hw.params import MachineParams, bebop_broadwell
 from repro.hw.topology import Topology
 from repro.mpi.buffer import Buffer
@@ -52,13 +60,15 @@ def _sweep(
     scale: BenchScale,
     params: Optional[MachineParams],
     nodes: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, List[float]]:
-    nodes = nodes or scale.nodes
+    points = expand_sweep(
+        collective, sizes, libs, nodes or scale.nodes, scale.ppn, params
+    )
+    results = run_points(points, runner)
     series: Dict[str, List[float]] = {lib: [] for lib in libs}
-    for nbytes in sizes:
-        for lib in libs:
-            r = run_point(lib, collective, nodes, scale.ppn, nbytes, params)
-            series[lib].append(r.time)
+    for point, r in zip(points, results):
+        series[point.library].append(r.time)
     return series
 
 
@@ -68,12 +78,17 @@ def _node_sweep(
     libs: Sequence[str],
     scale: BenchScale,
     params: Optional[MachineParams],
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, List[float]]:
+    points = [
+        Point(lib, collective, nodes, scale.ppn, nbytes, params=params)
+        for nodes in scale.node_sweep
+        for lib in libs
+    ]
+    results = run_points(points, runner)
     series: Dict[str, List[float]] = {lib: [] for lib in libs}
-    for nodes in scale.node_sweep:
-        for lib in libs:
-            r = run_point(lib, collective, nodes, scale.ppn, nbytes, params)
-            series[lib].append(r.time)
+    for point, r in zip(points, results):
+        series[point.library].append(r.time)
     return series
 
 
@@ -91,6 +106,8 @@ def fig01_multiobject_p2p(
     scale: Optional[BenchScale] = None,
     params: Optional[MachineParams] = None,
     messages_per_sender: int = 64,
+    runner: Optional[SweepRunner] = None,  # accepted for API uniformity;
+    # this figure builds custom p2p worlds, which stay serial in-process
 ) -> FigureResult:
     """Fig. 1: 2 nodes, 1..ppn concurrent sender/receiver pairs.
 
@@ -161,11 +178,12 @@ def _scaling_figure(
     fig_id: str, collective: str, small_bytes: int, medium_bytes: int,
     small_label: str, medium_label: str,
     scale: Optional[BenchScale], params: Optional[MachineParams],
+    runner: Optional[SweepRunner] = None,
 ) -> FigureResult:
     scale = scale or current_scale()
     libs = ["PiP-MColl", "PiP-MPICH"]
-    small = _node_sweep(collective, small_bytes, libs, scale, params)
-    medium = _node_sweep(collective, medium_bytes, libs, scale, params)
+    small = _node_sweep(collective, small_bytes, libs, scale, params, runner)
+    medium = _node_sweep(collective, medium_bytes, libs, scale, params, runner)
     series = {
         f"{lib} @{small_label}": small[lib] for lib in libs
     }
@@ -180,25 +198,25 @@ def _scaling_figure(
     )
 
 
-def fig06_scatter_scaling(scale=None, params=None) -> FigureResult:
+def fig06_scatter_scaling(scale=None, params=None, runner=None) -> FigureResult:
     """Fig. 6: MPI_Scatter, 16 B and 1 kB, increasing node counts."""
     return _scaling_figure(
-        "fig06", "scatter", 16, 1 * KB, "16B", "1kB", scale, params
+        "fig06", "scatter", 16, 1 * KB, "16B", "1kB", scale, params, runner
     )
 
 
-def fig07_allgather_scaling(scale=None, params=None) -> FigureResult:
+def fig07_allgather_scaling(scale=None, params=None, runner=None) -> FigureResult:
     """Fig. 7: MPI_Allgather, 16 B and 1 kB, increasing node counts."""
     return _scaling_figure(
-        "fig07", "allgather", 16, 1 * KB, "16B", "1kB", scale, params
+        "fig07", "allgather", 16, 1 * KB, "16B", "1kB", scale, params, runner
     )
 
 
-def fig08_allreduce_scaling(scale=None, params=None) -> FigureResult:
+def fig08_allreduce_scaling(scale=None, params=None, runner=None) -> FigureResult:
     """Fig. 8: MPI_Allreduce, 16 and 1 k doubles, increasing node counts."""
     return _scaling_figure(
         "fig08", "allreduce", 16 * DOUBLE, 1024 * DOUBLE, "16dbl", "1kdbl",
-        scale, params,
+        scale, params, runner,
     )
 
 
@@ -206,34 +224,34 @@ def fig08_allreduce_scaling(scale=None, params=None) -> FigureResult:
 # Figs. 9-11 — small messages, all five libraries
 # ---------------------------------------------------------------------------
 
-def fig09_scatter_small(scale=None, params=None) -> FigureResult:
+def fig09_scatter_small(scale=None, params=None, runner=None) -> FigureResult:
     """Fig. 9: MPI_Scatter, 16-512 B per process, five libraries."""
     scale = scale or current_scale()
     libs = library_names()
-    series = _sweep("scatter", SMALL_SIZES, libs, scale, params)
+    series = _sweep("scatter", SMALL_SIZES, libs, scale, params, runner=runner)
     return FigureResult(
         "fig09", "MPI_Scatter, small message sizes", "msgsize",
         [fmt_size(s) for s in SMALL_SIZES], series, meta=_meta(scale),
     )
 
 
-def fig10_allgather_small(scale=None, params=None) -> FigureResult:
+def fig10_allgather_small(scale=None, params=None, runner=None) -> FigureResult:
     """Fig. 10: MPI_Allgather, 16-512 B per process, five libraries."""
     scale = scale or current_scale()
     libs = library_names()
-    series = _sweep("allgather", SMALL_SIZES, libs, scale, params)
+    series = _sweep("allgather", SMALL_SIZES, libs, scale, params, runner=runner)
     return FigureResult(
         "fig10", "MPI_Allgather, small message sizes", "msgsize",
         [fmt_size(s) for s in SMALL_SIZES], series, meta=_meta(scale),
     )
 
 
-def fig11_allreduce_small(scale=None, params=None) -> FigureResult:
+def fig11_allreduce_small(scale=None, params=None, runner=None) -> FigureResult:
     """Fig. 11: MPI_Allreduce, small double counts, five libraries."""
     scale = scale or current_scale()
     libs = library_names()
     sizes = [c * DOUBLE for c in SMALL_COUNTS]
-    series = _sweep("allreduce", sizes, libs, scale, params)
+    series = _sweep("allreduce", sizes, libs, scale, params, runner=runner)
     return FigureResult(
         "fig11", "MPI_Allreduce, small double counts", "count",
         [str(c) for c in SMALL_COUNTS], series, meta=_meta(scale),
@@ -244,23 +262,23 @@ def fig11_allreduce_small(scale=None, params=None) -> FigureResult:
 # Figs. 12-14 — medium/large messages
 # ---------------------------------------------------------------------------
 
-def fig12_scatter_large(scale=None, params=None) -> FigureResult:
+def fig12_scatter_large(scale=None, params=None, runner=None) -> FigureResult:
     """Fig. 12: MPI_Scatter, 1-512 kB (same algorithm as small sizes)."""
     scale = scale or current_scale()
     libs = library_names()
-    series = _sweep("scatter", LARGE_SIZES, libs, scale, params)
+    series = _sweep("scatter", LARGE_SIZES, libs, scale, params, runner=runner)
     return FigureResult(
         "fig12", "MPI_Scatter, medium and large message sizes", "msgsize",
         [fmt_size(s) for s in LARGE_SIZES], series, meta=_meta(scale),
     )
 
 
-def fig13_allgather_large(scale=None, params=None) -> FigureResult:
+def fig13_allgather_large(scale=None, params=None, runner=None) -> FigureResult:
     """Fig. 13: MPI_Allgather, 1-512 kB, incl. the PiP-MColl-small variant
     (algorithm switch at 64 kB)."""
     scale = scale or current_scale()
     libs = library_names(include_variants=True)
-    series = _sweep("allgather", LARGE_SIZES, libs, scale, params)
+    series = _sweep("allgather", LARGE_SIZES, libs, scale, params, runner=runner)
     return FigureResult(
         "fig13", "MPI_Allgather, medium and large message sizes", "msgsize",
         [fmt_size(s) for s in LARGE_SIZES], series,
@@ -269,13 +287,13 @@ def fig13_allgather_large(scale=None, params=None) -> FigureResult:
     )
 
 
-def fig14_allreduce_large(scale=None, params=None) -> FigureResult:
+def fig14_allreduce_large(scale=None, params=None, runner=None) -> FigureResult:
     """Fig. 14: MPI_Allreduce, 1 k-512 k double counts, incl. the
     PiP-MColl-small variant (algorithm switch at 8 k counts = 64 kB)."""
     scale = scale or current_scale()
     libs = library_names(include_variants=True)
     sizes = [c * DOUBLE for c in LARGE_COUNTS]
-    series = _sweep("allreduce", sizes, libs, scale, params)
+    series = _sweep("allreduce", sizes, libs, scale, params, runner=runner)
     return FigureResult(
         "fig14", "MPI_Allreduce, medium and large double counts", "count",
         [f"{c // 1024}k" for c in LARGE_COUNTS], series,

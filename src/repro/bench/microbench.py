@@ -48,7 +48,13 @@ def paper_iterations(nbytes: int) -> int:
 
 @dataclass(frozen=True)
 class MicrobenchResult:
-    """One measured point."""
+    """One measured point.
+
+    Crosses process boundaries (pool workers return it) and round-trips
+    through the JSON result cache, so it must stay a plain frozen
+    dataclass of primitives — no references to ``World`` or ``Engine``.
+    ``tests/bench/test_runner.py`` pins the pickle round-trip.
+    """
 
     library: str
     collective: str

@@ -4,10 +4,17 @@ Runs the selected figure experiments at the selected scale and writes both
 the absolute and the normalised tables to a text file (and stdout).  This
 is the tool that produced the measured numbers quoted in EXPERIMENTS.md.
 
+Sweeps execute through :mod:`repro.bench.runner`: points fan out across a
+process pool (``--jobs``) and results are memoized in ``.bench_cache/``
+(``--no-cache`` to bypass, ``--refresh`` to recompute and overwrite).
+``--check`` reruns each figure serially with the cache off and asserts the
+parallel/cached series are bit-identical — the determinism guarantee CI
+leans on.
+
 Usage::
 
     python -m repro.bench.record --figures fig09,fig11 --scale paper \
-        --out results/paper_scale.txt
+        --jobs 8 --out results/paper_scale.txt
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from pathlib import Path
 from repro.bench.config import SCALES
 from repro.bench.figures import ALL_FIGURES
 from repro.bench.report import format_normalized, format_table
+from repro.bench.runner import SweepRunner
 
 __all__ = ["main"]
 
@@ -40,6 +48,28 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", default=None, help="append results to this file as well"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the sweep pool (default: PIPMCOLL_JOBS "
+             "or os.cpu_count(); 1 = serial in-process)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--refresh", action="store_true",
+        help="recompute every point and overwrite its cache entry",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print one line per completed point to stderr",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="after each figure, rerun it serially with the cache off and "
+             "assert the series are identical (determinism self-test)",
+    )
     args = parser.parse_args(argv)
 
     scale = SCALES[args.scale]
@@ -47,6 +77,13 @@ def main(argv=None) -> int:
     unknown = [n for n in names if n not in ALL_FIGURES]
     if unknown:
         parser.error(f"unknown figures: {unknown}")
+
+    runner = SweepRunner(
+        jobs=args.jobs,
+        use_cache=False if args.no_cache else None,
+        refresh=args.refresh,
+        progress=_stderr_progress if args.progress else None,
+    )
 
     out_path = Path(args.out) if args.out else None
     if out_path:
@@ -60,7 +97,7 @@ def main(argv=None) -> int:
 
     for name in names:
         t0 = time.time()
-        result = ALL_FIGURES[name](scale=scale)
+        result = ALL_FIGURES[name](scale=scale, runner=runner)
         wall = time.time() - t0
         emit(format_table(result))
         if "PiP-MColl" in result.series:
@@ -70,7 +107,19 @@ def main(argv=None) -> int:
                 f"{result.best_speedup_vs_fastest_other():.2f}x"
             )
         emit(f"   [{name} done in {wall:.1f}s host time]\n")
+        if args.check:
+            serial = SweepRunner(jobs=1, use_cache=False)
+            reference = ALL_FIGURES[name](scale=scale, runner=serial)
+            if reference.series != result.series:
+                emit(f"   [{name} CHECK FAILED: parallel != serial]")
+                return 1
+            emit(f"   [{name} check ok: parallel/cached == serial]\n")
     return 0
+
+
+def _stderr_progress(done, total, point, source) -> None:
+    tag = " (cached)" if source == "cache" else ""
+    print(f"  [{done}/{total}] {point.label()}{tag}", file=sys.stderr, flush=True)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

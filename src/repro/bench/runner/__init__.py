@@ -1,0 +1,40 @@
+"""Parallel, memoizing sweep runner for the benchmark harness.
+
+Every evaluation figure expands into a list of independent, deterministic
+:class:`~repro.bench.runner.points.Point` specs — one simulated world per
+``(library, collective, nodes, ppn, msg_bytes)``.  The
+:class:`~repro.bench.runner.pool.SweepRunner` executes such a list:
+
+* **in parallel** across a ``multiprocessing`` pool (``jobs=N``, default
+  ``os.cpu_count()``) — each point ships to a worker as a picklable spec
+  and comes back as a picklable :class:`~repro.bench.microbench.
+  MicrobenchResult`;
+* **memoized** through an on-disk cache (``.bench_cache/`` by default)
+  keyed by a stable hash of the package version, the resolved
+  :class:`~repro.hw.params.MachineParams`, the point spec, and the
+  warm-up/measure protocol — re-running a figure is near-instant when
+  nothing relevant changed;
+* **deterministically** — serial, parallel, and cache-hit execution return
+  bit-identical results (``tests/bench/test_runner.py`` pins this).
+
+Environment knobs (also exposed as CLI flags by ``repro.bench.record``):
+
+* ``PIPMCOLL_JOBS`` — worker count (``1`` forces serial in-process runs)
+* ``PIPMCOLL_CACHE`` — ``0``/``off`` disables the on-disk cache
+* ``PIPMCOLL_CACHE_DIR`` — cache location (default ``.bench_cache``)
+* ``PIPMCOLL_PROGRESS`` — ``1`` prints per-point progress to stderr
+"""
+
+from repro.bench.runner.cache import ResultCache, cache_key
+from repro.bench.runner.points import Point, expand_sweep
+from repro.bench.runner.pool import SweepRunner, default_runner, run_points
+
+__all__ = [
+    "Point",
+    "expand_sweep",
+    "ResultCache",
+    "cache_key",
+    "SweepRunner",
+    "default_runner",
+    "run_points",
+]

@@ -1,0 +1,139 @@
+"""On-disk memoization of microbenchmark results.
+
+Layout: one JSON file per point under ``<root>/<key[:2]>/<key>.json``,
+where ``key`` is a SHA-256 over a canonical JSON encoding of
+
+* the ``repro`` package version,
+* the fully resolved :class:`~repro.hw.params.MachineParams`,
+* the point spec (library, collective, shape, size), and
+* the warm-up/measure protocol.
+
+The simulator is deterministic, so a hit is exact — bit-identical to
+recomputation under the same version.  The key does **not** hash source
+code: re-running a figure after an unrelated code change is the use case.
+If you changed simulation-relevant code without bumping the version, pass
+``refresh=True`` (CLI ``--refresh``) or delete the cache directory.
+
+Writes are atomic (tmp file + ``os.replace``) so concurrent pool workers
+and parallel pytest runs can share one cache directory; corrupted or
+unreadable entries are treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import repro
+from repro.bench.microbench import MicrobenchResult
+from repro.bench.runner.points import Point
+
+__all__ = ["ResultCache", "cache_key", "default_cache_dir"]
+
+_ENV_DIR = "PIPMCOLL_CACHE_DIR"
+_DEFAULT_DIR = ".bench_cache"
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get(_ENV_DIR, _DEFAULT_DIR))
+
+
+def cache_key(point: Point) -> str:
+    """Stable content hash identifying one point's result."""
+    payload = {"version": repro.__version__, "point": point.spec_dict()}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of memoized :class:`MicrobenchResult` values."""
+
+    def __init__(self, root: "Path | str | None" = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        #: hits/misses/stores since construction (for tests and reporting)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, point: Point) -> Optional[MicrobenchResult]:
+        """The cached result for ``point``, or ``None`` on a miss."""
+        path = self._path(cache_key(point))
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            result = MicrobenchResult(
+                library=doc["library"],
+                collective=doc["collective"],
+                nodes=doc["nodes"],
+                ppn=doc["ppn"],
+                msg_bytes=doc["msg_bytes"],
+                time=doc["time"],
+                samples=tuple(doc["samples"]),
+                internode_messages=doc["internode_messages"],
+            )
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # corrupted / truncated / wrong-schema entry: drop and recompute
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, point: Point, result: MicrobenchResult) -> None:
+        """Store ``result`` atomically (safe under concurrent writers)."""
+        path = self._path(cache_key(point))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "version": repro.__version__,
+            "library": result.library,
+            "collective": result.collective,
+            "nodes": result.nodes,
+            "ppn": result.ppn,
+            "msg_bytes": result.msg_bytes,
+            "time": result.time,
+            "samples": list(result.samples),
+            "internode_messages": result.internode_messages,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+            self.stores += 1
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for entry in self.root.glob("*/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json")) if self.root.exists() else 0

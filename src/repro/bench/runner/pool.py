@@ -1,0 +1,176 @@
+"""The sweep runner: process-pool execution + cache orchestration.
+
+Each :class:`~repro.bench.runner.points.Point` is an independent,
+deterministic simulation, so a sweep is embarrassingly parallel: the runner
+ships point specs (not worlds — specs pickle in ~200 bytes) to a
+``multiprocessing`` pool and reassembles results in submission order.
+Serial, parallel, and cache-hit execution are bit-identical by
+construction; ``tests/bench/test_runner.py`` enforces it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Callable, List, Optional, Sequence
+
+from repro.bench.microbench import MicrobenchResult, run_point
+from repro.bench.runner.cache import ResultCache
+from repro.bench.runner.points import Point
+
+__all__ = ["SweepRunner", "default_runner", "run_points", "run_point_spec"]
+
+_ENV_JOBS = "PIPMCOLL_JOBS"
+_ENV_CACHE = "PIPMCOLL_CACHE"
+_ENV_PROGRESS = "PIPMCOLL_PROGRESS"
+
+#: ``progress(done, total, point, source)`` with source in {"run", "cache"}
+ProgressFn = Callable[[int, int, Point, str], None]
+
+
+def run_point_spec(point: Point) -> MicrobenchResult:
+    """Module-level pool worker: execute one point.
+
+    Must stay a plain top-level function — ``multiprocessing`` pickles it
+    by qualified name, and the :class:`Point` argument plus the returned
+    :class:`MicrobenchResult` are the only state that crosses the process
+    boundary (no closures over ``World``).
+    """
+    return run_point(
+        point.library,
+        point.collective,
+        point.nodes,
+        point.ppn,
+        point.msg_bytes,
+        params=point.params,
+        warmup=point.warmup,
+        measure=point.measure,
+    )
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "off", "no", "")
+
+
+def _default_jobs() -> int:
+    raw = os.environ.get(_ENV_JOBS)
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            raise ValueError(f"{_ENV_JOBS}={raw!r} is not an integer") from None
+    return os.cpu_count() or 1
+
+
+def _stderr_progress(done: int, total: int, point: Point, source: str) -> None:
+    tag = " (cached)" if source == "cache" else ""
+    print(f"  [{done}/{total}] {point.label()}{tag}", file=sys.stderr, flush=True)
+
+
+class SweepRunner:
+    """Executes lists of points with optional parallelism and memoization.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` reads ``PIPMCOLL_JOBS`` and falls back
+        to ``os.cpu_count()``.  ``1`` runs serially in-process (no pool).
+    use_cache:
+        Consult/populate the on-disk cache (``None`` → ``PIPMCOLL_CACHE``
+        env, default on).
+    refresh:
+        Recompute every point even on a cache hit, then overwrite the
+        stored entry (CLI ``--refresh``).
+    cache:
+        A :class:`ResultCache`; defaults to the standard directory.
+    progress:
+        ``progress(done, total, point, source)`` callback; ``None`` reads
+        ``PIPMCOLL_PROGRESS`` and, when set, prints to stderr.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        use_cache: Optional[bool] = None,
+        refresh: bool = False,
+        cache: Optional[ResultCache] = None,
+        progress: "ProgressFn | None" = None,
+    ):
+        self.jobs = _default_jobs() if jobs is None else max(1, int(jobs))
+        self.use_cache = (
+            _env_flag(_ENV_CACHE, True) if use_cache is None else use_cache
+        )
+        self.refresh = refresh
+        self.cache = cache if cache is not None else ResultCache()
+        if progress is None and _env_flag(_ENV_PROGRESS, False):
+            progress = _stderr_progress
+        self.progress = progress
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, points: Sequence[Point]) -> List[MicrobenchResult]:
+        """Execute ``points``; results come back in submission order."""
+        total = len(points)
+        results: List[Optional[MicrobenchResult]] = [None] * total
+        done = 0
+
+        # 1. cache pass
+        pending: List[int] = []
+        for i, point in enumerate(points):
+            hit = (
+                self.cache.get(point)
+                if self.use_cache and not self.refresh
+                else None
+            )
+            if hit is not None:
+                results[i] = hit
+                done += 1
+                if self.progress:
+                    self.progress(done, total, point, "cache")
+            else:
+                pending.append(i)
+
+        # 2. compute misses (pool or serial)
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                computed = self._run_pool([points[i] for i in pending])
+            else:
+                computed = map(run_point_spec, (points[i] for i in pending))
+            for i, result in zip(pending, computed):
+                results[i] = result
+                if self.use_cache:
+                    self.cache.put(points[i], result)
+                done += 1
+                if self.progress:
+                    self.progress(done, total, points[i], "run")
+
+        return results  # type: ignore[return-value]
+
+    def _run_pool(self, points: List[Point]) -> List[MicrobenchResult]:
+        import multiprocessing as mp
+
+        # fork (where available) inherits the warm interpreter: no
+        # re-import of numpy/repro per worker, and run_point pickles by name
+        method = "fork" if "fork" in mp.get_all_start_methods() else None
+        ctx = mp.get_context(method)
+        workers = min(self.jobs, len(points))
+        # modest chunking keeps scheduling overhead low on big sweeps while
+        # still load-balancing the heavy large-message points
+        chunksize = max(1, len(points) // (workers * 4))
+        with ctx.Pool(processes=workers) as pool:
+            return pool.map(run_point_spec, points, chunksize=chunksize)
+
+
+def default_runner(**overrides) -> SweepRunner:
+    """A runner configured purely from the environment (plus overrides)."""
+    return SweepRunner(**overrides)
+
+
+def run_points(
+    points: Sequence[Point], runner: Optional[SweepRunner] = None
+) -> List[MicrobenchResult]:
+    """Convenience wrapper: run ``points`` on ``runner`` or an env-default."""
+    return (runner or default_runner()).run(points)

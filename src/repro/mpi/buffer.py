@@ -33,7 +33,7 @@ class BufferError(RuntimeError):
 class Buffer:
     """A typed element range, real (numpy) or phantom (size-only)."""
 
-    __slots__ = ("dtype", "count", "data", "base_id", "offset")
+    __slots__ = ("dtype", "count", "nbytes", "data", "base_id", "offset")
 
     def __init__(
         self,
@@ -47,6 +47,9 @@ class Buffer:
             raise BufferError(f"negative element count: {count}")
         self.dtype = dtype
         self.count = count
+        #: total bytes; precomputed because nearly every transport and
+        #: collective decision reads it (a property here is measurably hot)
+        self.nbytes = count * dtype.itemsize
         self.data = data
         #: identity of the allocation this is a view into (fault-warm key)
         self.base_id = base_id
@@ -84,10 +87,6 @@ class Buffer:
     @property
     def is_real(self) -> bool:
         return self.data is not None
-
-    @property
-    def nbytes(self) -> int:
-        return self.count * self.dtype.itemsize
 
     def array(self) -> np.ndarray:
         """The backing numpy array (real buffers only)."""

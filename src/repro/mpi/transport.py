@@ -41,7 +41,7 @@ __all__ = ["Message", "Transport", "RTS_HEADER_BYTES"]
 RTS_HEADER_BYTES = 64
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One in-flight point-to-point message."""
 
@@ -77,6 +77,10 @@ class Transport:
         self.params = hw.params
         self.topology = hw.topology
         n = self.topology.world_size
+        # per-rank placement tables: isend runs per message, so the modulo
+        # arithmetic plus range checks in Topology are paid once, here
+        self._node_of = tuple(self.topology.node_of(r) for r in range(n))
+        self._local_of = tuple(self.topology.local_rank_of(r) for r in range(n))
         # per destination rank: (src, tag) -> FIFO of arrived messages
         self._arrived: list[Dict[Tuple[int, int], Deque[Message]]] = [
             {} for _ in range(n)
@@ -107,19 +111,20 @@ class Transport:
         """
         if src == dst:
             raise BufferError("self-sends are not used by any algorithm here")
-        if self.topology.same_node(src, dst):
+        if self._node_of[src] == self._node_of[dst]:
             return (yield from self._isend_intranode(src, dst, buf, tag, mechanism))
         return (yield from self._isend_internode(src, dst, buf, tag))
 
     def _isend_internode(self, src: int, dst: int, buf: Buffer, tag: int) -> ProcGen:
         p = self.params
         nbytes = buf.nbytes
-        ev = self.engine.event(f"send {src}->{dst} tag={tag}")
+        ev = Event(self.engine, "send")
         req = Request("send", ev, buf=buf, src=src, dst=dst, tag=tag)
         yield Delay(p.send_overhead)
-        src_nic = self.hw.nic_of(src)
-        dst_nic = self.hw.nic_of(dst)
-        src_local = self.topology.local_rank_of(src)
+        nics = self.hw.nics
+        src_nic = nics[self._node_of[src]]
+        dst_nic = nics[self._node_of[dst]]
+        src_local = self._local_of[src]
 
         if nbytes <= p.eager_threshold:
             payload = buf.snapshot()
@@ -144,7 +149,7 @@ class Transport:
                 src=src, dst=dst, tag=tag, nbytes=nbytes, payload=buf,
                 src_buffer_id=buf.base_id, intranode=False, rendezvous=True,
                 src_local=src_local,
-                sender_done=self.engine.event(f"rndv-done {src}->{dst}"),
+                sender_done=Event(self.engine, "rndv-done"),
             )
             msg.sender_done.on_trigger(lambda _v: self._complete_send(req))
             self.engine.call_at(rts_arrival, lambda: self._deliver(msg))
@@ -163,11 +168,11 @@ class Transport:
                 f"intranode message {src}->{dst} but no shmem mechanism configured"
             )
         nbytes = buf.nbytes
-        mem = self.hw.memory_of(src)
+        mem = self.hw.memories[self._node_of[src]]
         info = MsgInfo(
             src_rank=src, dst_rank=dst, nbytes=nbytes, src_buffer_id=buf.base_id
         )
-        ev = self.engine.event(f"shm-send {src}->{dst} tag={tag}")
+        ev = Event(self.engine, "shm-send")
         req = Request("send", ev, buf=buf, src=src, dst=dst, tag=tag)
         yield from mechanism.sender_work(mem, info)
         eager = mechanism.eager_for(nbytes)
@@ -175,10 +180,8 @@ class Transport:
             src=src, dst=dst, tag=tag, nbytes=nbytes,
             payload=buf.snapshot() if eager else buf,
             src_buffer_id=buf.base_id, intranode=True,
-            src_local=self.topology.local_rank_of(src),
-            sender_done=None if eager else self.engine.event(
-                f"shm-done {src}->{dst}"
-            ),
+            src_local=self._local_of[src],
+            sender_done=None if eager else Event(self.engine, "shm-done"),
             mechanism=mechanism,
         )
         if eager:
@@ -200,7 +203,7 @@ class Transport:
 
     def irecv(self, dst: int, src: int, buf: Buffer, tag: int) -> Request:
         """Post a receive; match happens now or on future delivery."""
-        ev = self.engine.event(f"recv {src}->{dst} tag={tag}")
+        ev = Event(self.engine, "recv")
         req = Request("recv", ev, buf=buf, src=src, dst=dst, tag=tag)
         key = (src, tag)
         arrived = self._arrived[dst].get(key)
@@ -239,7 +242,7 @@ class Transport:
             # internode eager
             if msg.unexpected:
                 # bounce-buffer copy out of the unexpected queue
-                mem = self.hw.memory_of(req.dst)
+                mem = self.hw.memories[self._node_of[req.dst]]
                 yield from mem.copy(msg.nbytes, extra_fixed=p.recv_overhead)
             else:
                 yield Delay(p.recv_overhead)
@@ -249,7 +252,7 @@ class Transport:
     def _recv_work_intranode(self, req: Request, msg: Message) -> ProcGen:
         mech = msg.mechanism
         assert mech is not None
-        mem = self.hw.memory_of(req.dst)
+        mem = self.hw.memories[self._node_of[req.dst]]
         info = MsgInfo(
             src_rank=msg.src, dst_rank=msg.dst, nbytes=msg.nbytes,
             src_buffer_id=msg.src_buffer_id,
@@ -264,8 +267,9 @@ class Transport:
         p = self.params
         # CTS header travels back, then the data path is reserved
         data_start = self.engine.now + p.send_overhead + p.wire_latency
-        src_nic = self.hw.nic_of(msg.src)
-        dst_nic = self.hw.nic_of(msg.dst)
+        nics = self.hw.nics
+        src_nic = nics[self._node_of[msg.src]]
+        dst_nic = nics[self._node_of[msg.dst]]
         inject_done, arrival = src_nic.transfer(
             data_start, msg.src_local, dst_nic, msg.nbytes, dma=True
         )

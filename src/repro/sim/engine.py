@@ -9,6 +9,24 @@ Determinism: the event heap is keyed by ``(time, seq)`` where ``seq`` is a
 monotonically increasing counter, so simultaneous events are processed in
 scheduling order and every run of the same program produces the same trace.
 
+Hot path
+--------
+A paper-scale sweep pushes tens of millions of events through this loop, so
+the dominant operations are closure-free:
+
+* heap entries are plain ``(time, seq, proc, value, fn)`` tuples — resuming
+  a process never allocates a lambda;
+* ``Delay``, by far the most common command, is recognised with an exact
+  type check in :meth:`Engine._step` and scheduled by pushing the tuple
+  directly (no ``call_after`` indirection);
+* a process waiting on an :class:`Event` is stored *itself* in the event's
+  callback list; :meth:`Event.trigger` moves waiting processes straight
+  onto the engine's ready deque.
+
+All of this is behaviour-preserving: scheduling order, ``seq`` consumption
+and therefore every simulated timestamp are identical to the layered
+implementation (the golden-trace tests in ``tests/bench`` pin this).
+
 Example
 -------
 >>> eng = Engine()
@@ -65,7 +83,6 @@ class Command:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
 class Delay(Command):
     """Suspend the yielding process for ``dt`` simulated seconds.
 
@@ -73,14 +90,23 @@ class Delay(Command):
     current time (after already-queued events at the same timestamp).
     """
 
-    dt: float
+    __slots__ = ("dt",)
 
-    def __post_init__(self) -> None:
-        if self.dt < 0:
-            raise ValueError(f"negative delay: {self.dt!r}")
+    def __init__(self, dt: float):
+        if dt < 0:
+            raise ValueError(f"negative delay: {dt!r}")
+        self.dt = dt
+
+    def __repr__(self) -> str:
+        return f"Delay(dt={self.dt!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return other.__class__ is Delay and other.dt == self.dt  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((Delay, self.dt))
 
 
-@dataclass(frozen=True)
 class WaitEvent(Command):
     """Suspend the yielding process until ``event`` is triggered.
 
@@ -89,20 +115,40 @@ class WaitEvent(Command):
     process immediately (at the current timestamp) with the stored value.
     """
 
-    event: "Event"
+    __slots__ = ("event",)
+
+    def __init__(self, event: "Event"):
+        self.event = event
+
+    def __repr__(self) -> str:
+        return f"WaitEvent(event={self.event!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return other.__class__ is WaitEvent and other.event is self.event  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((WaitEvent, id(self.event)))
 
 
-@dataclass(frozen=True)
 class WaitAll(Command):
     """Suspend until *all* of ``events`` have been triggered.
 
     The ``yield`` result is the list of event values in argument order.
     """
 
-    events: tuple["Event", ...]
+    __slots__ = ("events",)
 
     def __init__(self, events: Iterable["Event"]):
-        object.__setattr__(self, "events", tuple(events))
+        self.events = tuple(events)
+
+    def __repr__(self) -> str:
+        return f"WaitAll(events={self.events!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return other.__class__ is WaitAll and other.events == self.events  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((WaitAll, self.events))
 
 
 class Event:
@@ -111,6 +157,11 @@ class Event:
     An event is triggered at most once, carrying an optional value.  Any
     number of processes (and plain callbacks) may wait on it; they are all
     resumed/invoked at the trigger time, in registration order.
+
+    Internally the waiter list may hold :class:`Process` objects directly
+    (a process suspended on this event) interleaved with plain callables;
+    registration order is preserved across both kinds so trigger-time
+    semantics do not depend on how a waiter subscribed.
     """
 
     __slots__ = ("engine", "name", "_triggered", "_value", "_callbacks")
@@ -120,7 +171,7 @@ class Event:
         self.name = name
         self._triggered = False
         self._value: Any = None
-        self._callbacks: list[Callable[[Any], None]] = []
+        self._callbacks: list = []
 
     @property
     def triggered(self) -> bool:
@@ -139,8 +190,13 @@ class Event:
         self._triggered = True
         self._value = value
         callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            cb(value)
+        if callbacks:
+            ready = self.engine._ready
+            for cb in callbacks:
+                if cb.__class__ is Process:
+                    ready.append((cb, value))
+                else:
+                    cb(value)
 
     def on_trigger(self, callback: Callable[[Any], None]) -> None:
         """Invoke ``callback(value)`` when triggered (immediately if already)."""
@@ -154,7 +210,7 @@ class Event:
         return f"<Event {self.name!r} {state}>"
 
 
-@dataclass
+@dataclass(eq=False)
 class Process:
     """Handle for a spawned simulated process.
 
@@ -189,12 +245,16 @@ class Engine:
         print(eng.now)
     """
 
+    __slots__ = ("now", "_heap", "_ready", "_seq", "_live_processes", "_spawned")
+
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        # entries: (time, seq, proc, send_value, fn) — exactly one of
+        # proc/fn is set; tuples never compare past seq (unique)
+        self._heap: list = []
         # processes ready to resume at the current timestamp, FIFO — a fast
         # path that avoids one heap round-trip per event-triggered resume
-        self._ready: deque[tuple[Process, Any]] = deque()
+        self._ready: deque = deque()
         self._seq = 0
         self._live_processes = 0
         self._spawned = 0
@@ -208,7 +268,7 @@ class Engine:
                 f"cannot schedule in the past: {time} < now {self.now}"
             )
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, fn))
+        heapq.heappush(self._heap, (time, self._seq, None, None, fn))
 
     def call_after(self, delay: float, fn: Callable[[], None]) -> None:
         """Schedule ``fn()`` after ``delay`` simulated seconds."""
@@ -234,11 +294,12 @@ class Engine:
         proc = Process(
             name=name or f"proc-{self._spawned}",
             gen=gen,
-            done=self.event(f"done:{name or self._spawned}"),
+            done=Event(self, f"done:{name or self._spawned}"),
             engine=self,
         )
         self._live_processes += 1
-        self.call_after(0.0, lambda: self._step(proc, None))
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now, self._seq, proc, None, None))
         return proc
 
     def _step(self, proc: Process, send_value: Any) -> None:
@@ -249,22 +310,46 @@ class Engine:
             self._live_processes -= 1
             proc.done.trigger(stop.value)
             return
-        self._dispatch(proc, cmd)
+        # Exact-type fast paths for the two dominant commands; anything
+        # else (WaitAll, bare events, subclasses) takes the general route.
+        cls = cmd.__class__
+        if cls is Delay:
+            self._seq += 1
+            heapq.heappush(
+                self._heap, (self.now + cmd.dt, self._seq, proc, None, None)
+            )
+        elif cls is WaitEvent:
+            ev = cmd.event
+            if ev._triggered:
+                self._ready.append((proc, ev._value))
+            else:
+                ev._callbacks.append(proc)
+        else:
+            self._dispatch(proc, cmd)
 
     def _dispatch(self, proc: Process, cmd: Command) -> None:
         if isinstance(cmd, Delay):
-            self.call_after(cmd.dt, lambda: self._step(proc, None))
+            self._seq += 1
+            heapq.heappush(
+                self._heap, (self.now + cmd.dt, self._seq, proc, None, None)
+            )
         elif isinstance(cmd, WaitEvent):
-            cmd.event.on_trigger(lambda value: self._resume(proc, value))
+            self._wait_event(proc, cmd.event)
         elif isinstance(cmd, WaitAll):
             self._wait_all(proc, cmd.events)
         elif isinstance(cmd, Event):
             # Allow yielding a bare Event as shorthand for WaitEvent.
-            cmd.on_trigger(lambda value: self._resume(proc, value))
+            self._wait_event(proc, cmd)
         else:
             raise SimulationError(
                 f"process {proc.name!r} yielded unsupported command {cmd!r}"
             )
+
+    def _wait_event(self, proc: Process, ev: Event) -> None:
+        if ev._triggered:
+            self._ready.append((proc, ev._value))
+        else:
+            ev._callbacks.append(proc)
 
     def _resume(self, proc: Process, value: Any) -> None:
         # Queue the resume so that all callbacks registered at this
@@ -299,27 +384,44 @@ class Engine:
 
         Returns the final simulated time.  Raises :class:`DeadlockError` if
         the heap drains while spawned processes are still blocked.
+
+        ``until`` semantics (pinned by ``tests/sim/test_engine.py``):
+
+        * ready-queue entries at the cutoff timestamp are drained before
+          the horizon check, and heap events at exactly ``until`` still run;
+        * if the heap drains before ``until``, the clock advances to
+          ``until`` (idle time passes);
+        * ``now`` never moves backwards — ``run(until=t)`` with ``t < now``
+          is a no-op on the clock.
         """
         ready = self._ready
         heap = self._heap
+        pop = heapq.heappop
+        step = self._step
         while heap or ready:
             while ready:
                 proc, value = ready.popleft()
-                self._step(proc, value)
+                step(proc, value)
             if not heap:
                 break
-            time, _seq, fn = heap[0]
+            entry = heap[0]
+            time = entry[0]
             if until is not None and time > until:
-                self.now = until
+                if until > self.now:
+                    self.now = until
                 return self.now
-            heapq.heappop(heap)
+            pop(heap)
             self.now = time
-            fn()
+            proc = entry[2]
+            if proc is not None:
+                step(proc, entry[3])
+            else:
+                entry[4]()
         if until is None and self._live_processes > 0:
             raise DeadlockError(
                 f"{self._live_processes} process(es) blocked with no pending "
                 f"events at t={self.now} — simulated program deadlocked"
             )
-        if until is not None:
+        if until is not None and until > self.now:
             self.now = until
         return self.now

@@ -113,24 +113,27 @@ class RateLimiter:
     shared by all processes on a node.
     """
 
-    __slots__ = ("name", "rate", "_next_slot", "admitted")
+    __slots__ = ("name", "rate", "_interval", "_next_slot", "admitted")
 
     def __init__(self, rate: float, name: str = ""):
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
         self.name = name
         self.rate = rate
+        # precomputed once: admit() sits on the per-message hot path
+        self._interval = 1.0 / rate
         self._next_slot = 0.0
         self.admitted = 0
 
     @property
     def interval(self) -> float:
-        return 1.0 / self.rate
+        return self._interval
 
     def admit(self, now: float) -> float:
         """Return the admission time for an item arriving at ``now``."""
-        t = max(now, self._next_slot)
-        self._next_slot = t + self.interval
+        next_slot = self._next_slot
+        t = now if now > next_slot else next_slot
+        self._next_slot = t + self._interval
         self.admitted += 1
         return t
 

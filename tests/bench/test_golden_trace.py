@@ -1,0 +1,72 @@
+"""Golden-trace regression pins: exact simulated times for fixed points.
+
+These values were captured from the simulator before the engine hot-path
+rewrite and must never drift: every engine or transport optimization is
+required to be *semantics-preserving*, and equality here is exact float
+equality, not approx.  If a change legitimately alters the model (a
+parameter fix, a new contention term), recapture the constants in the
+same commit and say why in its message.
+
+Shape: 2 nodes x 2 ppn, warmup=1, measure=2 — the microbench defaults.
+"""
+
+import pytest
+
+from repro.bench.microbench import run_point
+
+#: (library, collective, msg_bytes) -> (samples, mean time, internode msgs)
+GOLDEN = {
+    ("PiP-MColl", "scatter", 64): (
+        (2.3666461538461537e-06, 2.3666461538461533e-06),
+        2.3666461538461533e-06,
+        3,
+    ),
+    ("PiP-MColl", "scatter", 8192): (
+        (7.479288888888889e-06, 7.479288888888894e-06),
+        7.479288888888892e-06,
+        3,
+    ),
+    ("PiP-MColl", "allreduce", 64): (
+        (3.6534461538461534e-06, 3.6534461538461576e-06),
+        3.6534461538461555e-06,
+        6,
+    ),
+    ("PiP-MColl", "allreduce", 8192): (
+        (1.1619244444444444e-05, 1.1619244444444465e-05),
+        1.1619244444444455e-05,
+        6,
+    ),
+    ("PiP-MPICH", "scatter", 64): (
+        (2.529446153846154e-06, 2.5294461538461536e-06),
+        2.5294461538461536e-06,
+        3,
+    ),
+    ("PiP-MPICH", "scatter", 8192): (
+        (9.267688888888894e-06, 9.267688888888894e-06),
+        9.267688888888894e-06,
+        3,
+    ),
+    ("PiP-MPICH", "allreduce", 64): (
+        (2.661446153846154e-06, 2.6614461538461534e-06),
+        2.6614461538461534e-06,
+        12,
+    ),
+    ("PiP-MPICH", "allreduce", 8192): (
+        (1.0264044444444448e-05, 1.0264044444444448e-05),
+        1.0264044444444448e-05,
+        24,
+    ),
+}
+
+
+@pytest.mark.parametrize(
+    "library,collective,msg_bytes",
+    sorted(GOLDEN),
+    ids=[f"{lib}-{coll}-{nb}" for lib, coll, nb in sorted(GOLDEN)],
+)
+def test_golden_trace(library, collective, msg_bytes):
+    samples, mean, internode = GOLDEN[(library, collective, msg_bytes)]
+    result = run_point(library, collective, 2, 2, msg_bytes)
+    assert result.samples == samples
+    assert result.time == mean
+    assert result.internode_messages == internode

@@ -1,0 +1,241 @@
+"""Tests for :mod:`repro.bench.runner` — pool, cache, determinism.
+
+The load-bearing guarantee is cross-mode determinism: serial in-process
+execution, pool execution, and cache hits must produce bit-identical
+``MicrobenchResult`` values (the simulator is deterministic and the cache
+stores exact floats), so figures cannot silently depend on ``--jobs``.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.bench.microbench import MicrobenchResult, run_point
+from repro.bench.runner import (
+    Point,
+    ResultCache,
+    SweepRunner,
+    cache_key,
+    expand_sweep,
+    run_points,
+)
+from repro.bench.runner.pool import run_point_spec
+from repro.hw.params import bebop_broadwell
+
+#: small but non-trivial: 2 libraries x 2 sizes x one 2x2 shape = 4 points
+POINTS = expand_sweep(
+    "allreduce", [64, 4096], ["PiP-MColl", "PiP-MPICH"], nodes=2, ppn=2
+)
+
+
+def _cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "cache")
+
+
+# -- cross-mode determinism (the acceptance-criteria test) ----------------
+
+
+def test_serial_parallel_and_cached_are_bit_identical(tmp_path):
+    serial = SweepRunner(jobs=1, use_cache=False).run(POINTS)
+    parallel = SweepRunner(jobs=4, use_cache=True, cache=_cache(tmp_path)).run(
+        POINTS
+    )
+    cached = SweepRunner(jobs=1, use_cache=True, cache=_cache(tmp_path)).run(
+        POINTS
+    )
+    # full equality — library/shape metadata, mean, and every sample
+    assert serial == parallel == cached
+    assert all(a.samples == b.samples for a, b in zip(serial, cached))
+
+
+def test_results_come_back_in_submission_order(tmp_path):
+    results = SweepRunner(jobs=2, use_cache=False).run(POINTS)
+    for point, result in zip(POINTS, results):
+        assert (result.library, result.msg_bytes) == (
+            point.library,
+            point.msg_bytes,
+        )
+
+
+def test_matches_direct_run_point():
+    p = POINTS[0]
+    direct = run_point(
+        p.library, p.collective, p.nodes, p.ppn, p.msg_bytes,
+        warmup=p.warmup, measure=p.measure,
+    )
+    via_runner = SweepRunner(jobs=1, use_cache=False).run([p])[0]
+    assert direct == via_runner
+
+
+# -- the on-disk cache ----------------------------------------------------
+
+
+def test_cache_miss_then_hit(tmp_path):
+    cache = _cache(tmp_path)
+    runner = SweepRunner(jobs=1, use_cache=True, cache=cache)
+    first = runner.run(POINTS)
+    assert (cache.hits, cache.stores) == (0, len(POINTS))
+    assert len(cache) == len(POINTS)
+    second = runner.run(POINTS)
+    assert cache.hits == len(POINTS)
+    assert second == first
+
+
+def test_no_cache_leaves_disk_untouched(tmp_path):
+    cache = _cache(tmp_path)
+    SweepRunner(jobs=1, use_cache=False, cache=cache).run(POINTS[:1])
+    assert len(cache) == 0 and not cache.root.exists()
+
+
+def test_refresh_recomputes_and_overwrites(tmp_path):
+    cache = _cache(tmp_path)
+    point = POINTS[0]
+    real = SweepRunner(jobs=1, use_cache=True, cache=cache).run([point])[0]
+    # poison the stored entry so we can tell a recompute from a hit
+    path = cache._path(cache_key(point))
+    doc = json.loads(path.read_text())
+    doc["time"] = -1.0
+    path.write_text(json.dumps(doc))
+    poisoned = SweepRunner(jobs=1, use_cache=True, cache=cache).run([point])[0]
+    assert poisoned.time == -1.0
+    refreshed = SweepRunner(
+        jobs=1, use_cache=True, cache=cache, refresh=True
+    ).run([point])[0]
+    assert refreshed == real
+    # and the overwrite stuck
+    assert json.loads(path.read_text())["time"] == real.time
+
+
+def test_corrupted_entry_is_dropped_and_recomputed(tmp_path):
+    cache = _cache(tmp_path)
+    point = POINTS[0]
+    real = SweepRunner(jobs=1, use_cache=True, cache=cache).run([point])[0]
+    path = cache._path(cache_key(point))
+    path.write_text("{ not json")
+    again = SweepRunner(jobs=1, use_cache=True, cache=cache).run([point])[0]
+    assert again == real
+    assert cache.misses >= 1
+
+
+def test_cache_key_distinguishes_every_spec_field(tmp_path):
+    base = Point("PiP-MColl", "allreduce", 2, 2, 64)
+    variants = [
+        Point("PiP-MPICH", "allreduce", 2, 2, 64),
+        Point("PiP-MColl", "scatter", 2, 2, 64),
+        Point("PiP-MColl", "allreduce", 4, 2, 64),
+        Point("PiP-MColl", "allreduce", 2, 4, 64),
+        Point("PiP-MColl", "allreduce", 2, 2, 128),
+        Point("PiP-MColl", "allreduce", 2, 2, 64, warmup=2),
+        Point("PiP-MColl", "allreduce", 2, 2, 64, measure=3),
+        Point(
+            "PiP-MColl", "allreduce", 2, 2, 64,
+            params=bebop_broadwell().with_overrides(
+                pip_sizesync_time=1e-3
+            ),
+        ),
+    ]
+    keys = {cache_key(p) for p in [base, *variants]}
+    assert len(keys) == len(variants) + 1
+
+
+def test_default_params_key_equals_explicit_default():
+    implicit = Point("PiP-MColl", "allreduce", 2, 2, 64)
+    explicit = Point(
+        "PiP-MColl", "allreduce", 2, 2, 64, params=bebop_broadwell()
+    )
+    assert cache_key(implicit) == cache_key(explicit)
+
+
+def test_cache_clear(tmp_path):
+    cache = _cache(tmp_path)
+    SweepRunner(jobs=1, use_cache=True, cache=cache).run(POINTS[:2])
+    assert len(cache) == 2
+    assert cache.clear() == 2
+    assert len(cache) == 0
+
+
+# -- pickle safety (pool workers ship these across processes) -------------
+
+
+def test_point_pickle_round_trip():
+    for point in (
+        POINTS[0],
+        Point(
+            "PiP-MColl", "scatter", 4, 8, 1024, warmup=3, measure=5,
+            params=bebop_broadwell(),
+        ),
+    ):
+        clone = pickle.loads(pickle.dumps(point))
+        assert clone == point
+        assert cache_key(clone) == cache_key(point)
+
+
+def test_microbench_result_pickle_round_trip():
+    result = run_point_spec(POINTS[0])
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone == result
+    assert isinstance(clone, MicrobenchResult)
+    assert clone.samples == result.samples  # exact floats, not approx
+
+
+def test_worker_function_pickles_by_qualified_name():
+    # multiprocessing pickles the callable itself; it must stay top-level
+    fn = pickle.loads(pickle.dumps(run_point_spec))
+    assert fn is run_point_spec
+
+
+# -- sweep expansion and env knobs ----------------------------------------
+
+
+def test_expand_sweep_is_size_major_then_library():
+    pts = expand_sweep("scatter", [64, 128], ["A", "B"], nodes=2, ppn=2)
+    assert [(p.msg_bytes, p.library) for p in pts] == [
+        (64, "A"), (64, "B"), (128, "A"), (128, "B"),
+    ]
+
+
+def test_jobs_env_knob(monkeypatch):
+    monkeypatch.setenv("PIPMCOLL_JOBS", "3")
+    assert SweepRunner(use_cache=False).jobs == 3
+    monkeypatch.setenv("PIPMCOLL_JOBS", "banana")
+    with pytest.raises(ValueError):
+        SweepRunner(use_cache=False)
+
+
+def test_cache_env_knob(monkeypatch, tmp_path):
+    monkeypatch.setenv("PIPMCOLL_CACHE_DIR", str(tmp_path / "envcache"))
+    monkeypatch.setenv("PIPMCOLL_CACHE", "0")
+    assert SweepRunner(jobs=1).use_cache is False
+    monkeypatch.setenv("PIPMCOLL_CACHE", "1")
+    runner = SweepRunner(jobs=1)
+    assert runner.use_cache is True
+    assert runner.cache.root == tmp_path / "envcache"
+
+
+def test_progress_reports_source(tmp_path):
+    cache = _cache(tmp_path)
+    events = []
+
+    def progress(done, total, point, source):
+        events.append((done, total, point.label(), source))
+
+    SweepRunner(jobs=1, use_cache=True, cache=cache, progress=progress).run(
+        POINTS[:2]
+    )
+    assert [e[3] for e in events] == ["run", "run"]
+    events.clear()
+    SweepRunner(jobs=1, use_cache=True, cache=cache, progress=progress).run(
+        POINTS[:2]
+    )
+    assert [e[3] for e in events] == ["cache", "cache"]
+    assert [e[0] for e in events] == [1, 2]
+    assert all(e[1] == 2 for e in events)
+
+
+def test_run_points_uses_env_default_runner(monkeypatch, tmp_path):
+    monkeypatch.setenv("PIPMCOLL_JOBS", "1")
+    monkeypatch.setenv("PIPMCOLL_CACHE_DIR", str(tmp_path / "rp"))
+    results = run_points(POINTS[:1])
+    assert results[0].library == POINTS[0].library
+    assert len(ResultCache()) == 1

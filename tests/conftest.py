@@ -1,0 +1,13 @@
+"""Shared fixtures: keep the bench result cache out of the working tree.
+
+Every test gets a private ``PIPMCOLL_CACHE_DIR`` so suite runs never read
+or pollute a developer's ``.bench_cache/`` — cache behaviour itself is
+exercised explicitly in ``tests/bench/test_runner.py``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_bench_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("PIPMCOLL_CACHE_DIR", str(tmp_path / "bench_cache"))

@@ -177,6 +177,90 @@ def test_run_until_stops_early():
     assert eng.now == 10.0
 
 
+def test_run_until_advances_clock_when_heap_drains_first():
+    # all work ends at t=2, but the requested horizon is t=5: the clock
+    # must land on the horizon, not on the last event
+    eng = Engine()
+
+    def body():
+        yield Delay(2.0)
+
+    eng.spawn(body())
+    t = eng.run(until=5.0)
+    assert t == 5.0 and eng.now == 5.0
+
+
+def test_run_until_in_past_never_moves_clock_backwards():
+    eng = Engine()
+
+    def body():
+        yield Delay(10.0)
+
+    eng.spawn(body())
+    eng.run(until=6.0)
+    assert eng.now == 6.0
+    # a horizon behind the clock is a no-op for time...
+    t = eng.run(until=3.0)
+    assert t == 6.0 and eng.now == 6.0
+    # ...and the pending work is still intact
+    eng.run()
+    assert eng.now == 10.0
+
+
+def test_run_until_runs_event_at_exactly_the_cutoff():
+    eng = Engine()
+    log = []
+
+    def body(name, dt):
+        yield Delay(dt)
+        log.append((eng.now, name))
+
+    eng.spawn(body("at-cutoff", 5.0))
+    eng.spawn(body("after", 5.5))
+    eng.run(until=5.0)
+    assert log == [(5.0, "at-cutoff")]
+    eng.run()
+    assert log == [(5.0, "at-cutoff"), (5.5, "after")]
+
+
+def test_run_until_drains_ready_queue_at_cutoff():
+    # an event triggered at exactly `until` readies its waiter; that waiter
+    # must run before the engine returns, not be stranded for the next run
+    eng = Engine()
+    ev = eng.event()
+    woke = []
+
+    def trigger():
+        yield Delay(5.0)
+        ev.trigger("go")
+
+    def waiter():
+        value = yield WaitEvent(ev)
+        woke.append((eng.now, value))
+
+    eng.spawn(waiter())
+    eng.spawn(trigger())
+    eng.run(until=5.0)
+    assert woke == [(5.0, "go")]
+
+
+def test_repeated_run_until_is_monotonic():
+    eng = Engine()
+
+    def body():
+        yield Delay(100.0)
+
+    eng.spawn(body())
+    seen = []
+    for horizon in (1.0, 4.0, 2.0, 4.0, 50.0, 10.0):
+        eng.run(until=horizon)
+        seen.append(eng.now)
+    assert seen == sorted(seen)  # the clock never went backwards
+    assert seen == [1.0, 4.0, 4.0, 4.0, 50.0, 50.0]
+    eng.run()
+    assert eng.now == 100.0
+
+
 def test_timeout_event():
     eng = Engine()
     ev = eng.timeout(4.0, value="late")

@@ -104,3 +104,102 @@ class TestRateLimiter:
             admitted.append(rl.admit(t))
         for a, b in zip(admitted, admitted[1:]):
             assert b - a >= 1.0 / rate - 1e-12
+
+    def test_interval_is_reciprocal_rate(self):
+        assert RateLimiter(8.0).interval == 0.125
+
+
+class TestAccounting:
+    """busy_time / served / admitted counters and reset() round-trips.
+
+    The world-reuse path (``World.run`` called repeatedly on one world)
+    leans on ``reset()`` restoring resources to a bit-identical fresh
+    state; these tests pin that under interleaved reservations.
+    """
+
+    def test_server_counters_accumulate(self):
+        s = Server()
+        s.reserve(0.0, 2.0)   # busy [0, 2)
+        s.reserve(1.0, 3.0)   # queued: busy [2, 5)
+        s.reserve(10.0, 0.0)  # zero service still counts as served
+        assert s.busy_time == 5.0
+        assert s.served == 3
+        assert s.next_free() == 10.0
+
+    def test_multiserver_counters_accumulate(self):
+        ms = MultiServer(2)
+        ms.reserve(0.0, 4.0)
+        ms.reserve(0.0, 1.0)
+        ms.reserve(0.0, 1.0)  # queues behind the 1.0s lane
+        assert ms.busy_time == 6.0
+        assert ms.served == 3
+        assert ms.next_free() == 2.0  # fast lane: 1.0 + 1.0
+
+    def test_rate_limiter_counts_admissions(self):
+        rl = RateLimiter(2.0)
+        for _ in range(5):
+            rl.admit(0.0)
+        assert rl.admitted == 5
+
+    def test_failed_reservation_leaves_counters_untouched(self):
+        s, ms = Server(), MultiServer(3)
+        with pytest.raises(ValueError):
+            s.reserve(0.0, -1.0)
+        with pytest.raises(ValueError):
+            ms.reserve(0.0, -1.0)
+        assert (s.busy_time, s.served) == (0.0, 0)
+        assert (ms.busy_time, ms.served) == (0.0, 0)
+        assert ms.next_free() == 0.0  # no lane was popped and lost
+
+    @staticmethod
+    def _state(res):
+        if isinstance(res, RateLimiter):
+            return (res._next_slot, res.admitted)
+        return (res.next_free(), res.busy_time, res.served)
+
+    def test_reset_round_trips_under_interleaved_reservations(self):
+        # drive all three resource kinds through an interleaved schedule,
+        # reset, replay the same schedule: identical windows and counters
+        def build():
+            return Server("nic"), MultiServer(2, "mem"), RateLimiter(4.0, "mr")
+
+        def drive(s, ms, rl):
+            log = []
+            for now in (0.0, 0.25, 0.25, 1.5, 1.5, 7.0):
+                log.append(s.reserve(now, 0.5))
+                log.append(ms.reserve(now, 1.25))
+                log.append(rl.admit(now))
+                log.append(ms.reserve(now, 0.75))
+            return log
+
+        s, ms, rl = build()
+        first = drive(s, ms, rl)
+        dirty = [self._state(r) for r in (s, ms, rl)]
+        for r in (s, ms, rl):
+            r.reset()
+        fresh = Server(), MultiServer(2), RateLimiter(4.0)
+        assert [self._state(r) for r in (s, ms, rl)] == [
+            self._state(r) for r in fresh
+        ]
+        second = drive(s, ms, rl)
+        assert second == first  # replay after reset is bit-identical
+        assert [self._state(r) for r in (s, ms, rl)] == dirty
+
+    def test_reset_preserves_identity_and_capacity(self):
+        ms = MultiServer(3, "mem")
+        ms.reserve(0.0, 1.0)
+        ms.reset()
+        assert ms.servers == 3 and ms.name == "mem"
+        # all three lanes free again
+        assert ms.reserve(0.0, 1.0) == (0.0, 1.0)
+        assert ms.reserve(0.0, 1.0) == (0.0, 1.0)
+        assert ms.reserve(0.0, 1.0) == (0.0, 1.0)
+
+    def test_rate_limiter_reset_keeps_rate(self):
+        rl = RateLimiter(2.0, "mr")
+        rl.admit(0.0), rl.admit(0.0)
+        rl.reset()
+        assert (rl.rate, rl.interval, rl.name) == (2.0, 0.5, "mr")
+        assert rl.admit(0.0) == 0.0
+        assert rl.admit(0.0) == 0.5
+        assert rl.admitted == 2
