@@ -34,10 +34,13 @@ class MpiLibrary(abc.ABC):
     def make_mechanism(self) -> Optional[ShmemMechanism]:
         """Fresh intranode mechanism for a new :class:`World`."""
 
-    def make_world(self, topology, params, phantom: bool = False) -> World:
+    def make_world(
+        self, topology, params, phantom: bool = False, tracer=None
+    ) -> World:
         """Convenience: a world configured with this library's transport."""
         return World(
-            topology, params, mechanism=self.make_mechanism(), phantom=phantom
+            topology, params, mechanism=self.make_mechanism(),
+            phantom=phantom, tracer=tracer,
         )
 
     # -- collectives --------------------------------------------------------

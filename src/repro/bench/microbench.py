@@ -16,12 +16,14 @@ from typing import Callable, Optional, Tuple
 
 from repro.baselines.base import MpiLibrary
 from repro.baselines.registry import make_library
+from repro.core.tuning import Thresholds
 from repro.hw.params import MachineParams, bebop_broadwell
 from repro.hw.topology import Topology
 from repro.mpi.buffer import Buffer
 from repro.mpi.datatypes import SUM
 from repro.mpi.runtime import RankCtx, World
 from repro.sim.engine import ProcGen
+from repro.sim.trace import Tracer
 from repro.util.units import KB
 
 __all__ = ["paper_iterations", "MicrobenchResult", "run_point", "COLLECTIVES"]
@@ -140,24 +142,45 @@ def run_point(
     params: Optional[MachineParams] = None,
     warmup: int = 1,
     measure: int = 2,
+    tracer: Optional[Tracer] = None,
+    thresholds: Optional[Thresholds] = None,
 ) -> MicrobenchResult:
     """Measure one (library, collective, shape, size) point.
 
     Builds a fresh phantom-data world, runs ``warmup`` unrecorded
     iterations followed by ``measure`` recorded ones, and returns the mean
     simulated per-iteration time.
+
+    With a ``tracer`` attached, spans are recorded throughout but the
+    tracer is cleared before the final measured iteration, so it ends up
+    holding exactly one steady-state iteration of the collective.
+
+    ``thresholds`` overrides the library's algorithm switch points
+    (ablations); only libraries that select by size accept it.
     """
     if measure < 1:
         raise ValueError("need at least one measured iteration")
     lib = make_library(library)
+    if thresholds is not None:
+        if not hasattr(lib, "thresholds"):
+            raise ValueError(
+                f"library {library!r} has no size thresholds to override"
+            )
+        lib.thresholds = thresholds
     world = lib.make_world(
-        Topology(nodes, ppn), params or bebop_broadwell(), phantom=True
+        Topology(nodes, ppn), params or bebop_broadwell(), phantom=True,
+        tracer=tracer,
     )
     body = _make_body(lib, world, collective, msg_bytes)
 
     for _ in range(warmup):
         world.run(body)
-    samples = tuple(world.run(body).elapsed for _ in range(measure))
+    samples = []
+    for i in range(measure):
+        if tracer is not None and i == measure - 1:
+            tracer.clear()
+        samples.append(world.run(body).elapsed)
+    samples = tuple(samples)
     return MicrobenchResult(
         library=library,
         collective=collective,

@@ -11,10 +11,17 @@ process pool (``--jobs``) and results are memoized in ``.bench_cache/``
 parallel/cached series are bit-identical — the determinism guarantee CI
 leans on.
 
+``--trace out.json --trace-point LIBRARY/COLLECTIVE/NBYTES`` skips the
+figure sweeps and instead records one steady-state iteration of a single
+point (at the selected scale's shape) into a phase-tagged Chrome/Perfetto
+trace — load it at https://ui.perfetto.dev to see the algorithm phases.
+
 Usage::
 
     python -m repro.bench.record --figures fig09,fig11 --scale paper \
         --jobs 8 --out results/paper_scale.txt
+    python -m repro.bench.record --scale small \
+        --trace out.json --trace-point PiP-MColl/allreduce/64K
 """
 
 from __future__ import annotations
@@ -70,9 +77,23 @@ def main(argv=None) -> int:
         help="after each figure, rerun it serially with the cache off and "
              "assert the series are identical (determinism self-test)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="OUT.JSON",
+        help="dump a phase-tagged Perfetto trace of one point (requires "
+             "--trace-point) instead of running figures",
+    )
+    parser.add_argument(
+        "--trace-point", default=None, metavar="LIB/COLLECTIVE/NBYTES",
+        help="the point to trace, e.g. PiP-MColl/allreduce/64K; the shape "
+             "comes from --scale",
+    )
     args = parser.parse_args(argv)
 
     scale = SCALES[args.scale]
+    if args.trace or args.trace_point:
+        if not (args.trace and args.trace_point):
+            parser.error("--trace and --trace-point must be used together")
+        return _record_trace(args.trace, args.trace_point, scale, parser)
     names = [n.strip() for n in args.figures.split(",") if n.strip()]
     unknown = [n for n in names if n not in ALL_FIGURES]
     if unknown:
@@ -115,6 +136,53 @@ def main(argv=None) -> int:
                 return 1
             emit(f"   [{name} check ok: parallel/cached == serial]\n")
     return 0
+
+
+def _record_trace(out_path: str, spec: str, scale, parser) -> int:
+    """Run one point with a tracer attached and dump the Perfetto JSON."""
+    from repro.bench.microbench import run_point
+    from repro.sim.trace import Tracer
+
+    parts = spec.split("/")
+    if len(parts) != 3:
+        parser.error(
+            f"bad --trace-point {spec!r}; expected LIB/COLLECTIVE/NBYTES"
+        )
+    library, collective, size_text = parts
+    try:
+        msg_bytes = _parse_size(size_text)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    tracer = Tracer()
+    result = run_point(
+        library, collective, scale.nodes, scale.ppn, msg_bytes, tracer=tracer
+    )
+    tracer.dump_chrome_trace(out_path)
+    phases = sorted(p or "(untagged)" for p in tracer.by_phase())
+    print(
+        f"traced {library} {collective} {scale.nodes}x{scale.ppn} "
+        f"{msg_bytes}B: {result.time * 1e6:.2f}us simulated, "
+        f"{len(tracer.events)} spans -> {out_path}"
+    )
+    print(f"   phases: {', '.join(phases)}")
+    return 0
+
+
+def _parse_size(text: str) -> int:
+    """Parse ``64K``-style sizes (K/M suffix, base 1024)."""
+    raw = text.strip().upper()
+    factor = 1
+    if raw.endswith(("K", "M")):
+        factor = 1024 if raw.endswith("K") else 1024**2
+        raw = raw[:-1]
+    try:
+        value = int(raw) * factor
+    except ValueError:
+        raise ValueError(f"bad message size {text!r}") from None
+    if value < 1:
+        raise ValueError(f"message size must be positive, got {text!r}")
+    return value
 
 
 def _stderr_progress(done, total, point, source) -> None:

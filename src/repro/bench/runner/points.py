@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.tuning import Thresholds
 from repro.hw.params import MachineParams, bebop_broadwell
 
 __all__ = ["Point", "expand_sweep"]
@@ -23,6 +24,12 @@ class Point:
     (:func:`~repro.hw.params.bebop_broadwell`); the cache key always uses
     the *resolved* parameters, so a changed default cannot alias stale
     entries.
+
+    ``thresholds=None`` means the library's own defaults; a non-``None``
+    value overrides the algorithm switch points (ablations).  It is part
+    of the cache key — two ablation variants of the same library can never
+    alias each other's cached results
+    (``tests/bench/test_runner.py`` pins this).
     """
 
     library: str
@@ -33,6 +40,7 @@ class Point:
     warmup: int = 1
     measure: int = 2
     params: Optional[MachineParams] = None
+    thresholds: Optional[Thresholds] = None
 
     def resolved_params(self) -> MachineParams:
         return self.params if self.params is not None else bebop_broadwell()
@@ -48,6 +56,11 @@ class Point:
             "warmup": self.warmup,
             "measure": self.measure,
             "params": asdict(self.resolved_params()),
+            # None = library default; the library name is in the key, so a
+            # default can never alias an explicit override
+            "thresholds": (
+                None if self.thresholds is None else asdict(self.thresholds)
+            ),
         }
 
     def label(self) -> str:

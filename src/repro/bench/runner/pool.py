@@ -45,6 +45,7 @@ def run_point_spec(point: Point) -> MicrobenchResult:
         params=point.params,
         warmup=point.warmup,
         measure=point.measure,
+        thresholds=point.thresholds,
     )
 
 

@@ -1,24 +1,26 @@
 """PiP-MColl medium/large-message MPI_Allgather (§III-B1, Fig. 4).
 
 Intranode gather into the local root's staging buffer (absolute node-block
-order), then the multi-object ring of :mod:`repro.core.ring`: ``N - 1``
-steps, P independent ring lanes per node (process ``R_l`` rings slice
-``R_l`` of every node block), with the intranode broadcast of completed
-blocks overlapped with the in-flight ring transfers.
+order), then the multi-object ring of :mod:`repro.sched.plans.ring`:
+``N - 1`` steps, P independent ring lanes per node (process ``R_l`` rings
+slice ``R_l`` of every node block), with the intranode broadcast of
+completed blocks overlapped with the in-flight ring transfers.
 
 Linear in ``C_b`` (vs. the small-message algorithm's quadratic growth) and
 bandwidth-optimal in total internode traffic — the paper switches to this
 algorithm at 64 kB.
+
+Compiled by :func:`repro.sched.plans.mcoll.plan_allgather_large` and
+replayed by the :class:`~repro.sched.executor.ScheduleExecutor`.
 """
 
 from __future__ import annotations
 
 from repro.mpi.buffer import Buffer
 from repro.mpi.runtime import RankCtx
+from repro.sched.executor import ScheduleExecutor
+from repro.sched.plans.mcoll import plan_allgather_large
 from repro.sim.engine import ProcGen
-
-from repro.core.intranode import intra_barrier
-from repro.core.ring import ring_allgather_blocks
 
 __all__ = ["mcoll_allgather_large"]
 
@@ -36,25 +38,7 @@ def mcoll_allgather_large(
         raise ValueError(
             f"recvbuf has {recvbuf.count} elements, need {N * P * C}"
         )
-    ns = ctx.next_op_seq()
-    board = ctx.pip.board
-    block = P * C
-
-    # -- 1. intranode gather into the local root's staging (absolute order)
-    if ctx.local_rank == 0:
-        A = ctx.alloc(sendbuf.dtype, N * block)
-        yield from board.post((ns, "A"), A)
-    else:
-        A = yield from board.lookup((ns, "A"))
-    yield from ctx.copy(
-        A.view(ctx.node * block + ctx.local_rank * C, C), sendbuf
-    )
-    yield from intra_barrier(ctx, (ns, "gathered"))
-
-    # -- 2+3. multi-object ring with overlapped intranode broadcast ---------
-    node_counts = [block] * N
-    node_displs = [b * block for b in range(N)]
-    yield from ring_allgather_blocks(
-        ctx, (ns, "ring"), A, node_counts, node_displs, recvbuf,
-        overlap=overlap,
+    schedule = plan_allgather_large(N, P, C, overlap)
+    yield from ScheduleExecutor(schedule).run(
+        ctx, {"send": sendbuf, "recv": recvbuf}
     )

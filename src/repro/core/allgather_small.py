@@ -22,15 +22,18 @@ rotation applied — same bytes moved, one less staging pass.
 Cost model (§III-A2): ``T = T_intra_gather + a_e*ceil(log_{P+1} N) + ...``;
 internode volume grows quadratically in ``C_b``, which is why §III-B1
 switches to the ring algorithm for large messages.
+
+Compiled by :func:`repro.sched.plans.mcoll.plan_allgather_small` and
+replayed by the :class:`~repro.sched.executor.ScheduleExecutor`.
 """
 
 from __future__ import annotations
 
 from repro.mpi.buffer import Buffer
 from repro.mpi.runtime import RankCtx
+from repro.sched.executor import ScheduleExecutor
+from repro.sched.plans.mcoll import plan_allgather_small
 from repro.sim.engine import ProcGen
-
-from repro.core.intranode import intra_barrier
 
 __all__ = ["mcoll_allgather_small"]
 
@@ -45,43 +48,7 @@ def mcoll_allgather_small(
         raise ValueError(
             f"recvbuf has {recvbuf.count} elements, need {N * P * C}"
         )
-    ns = ctx.next_op_seq()
-    tag = ns
-    board = ctx.pip.board
-    block = P * C  # one node block
-
-    # -- 1. intranode gather into the local root's staging buffer A --------
-    # A block j will hold node (my_node + j) % N's data (relative order)
-    if ctx.local_rank == 0:
-        A = ctx.alloc(sendbuf.dtype, N * block)
-        yield from board.post((ns, "A"), A)
-    else:
-        A = yield from board.lookup((ns, "A"))
-    yield from ctx.copy(A.view(ctx.local_rank * C, C), sendbuf)
-    yield from intra_barrier(ctx, (ns, "gathered"))
-
-    # -- 2. multi-object Bruck rounds ---------------------------------------
-    rnd = 0
-    S = 1
-    while S < N:
-        offset = (ctx.local_rank + 1) * S
-        cnt = max(0, min(S, N - S - ctx.local_rank * S))
-        if cnt > 0:
-            dst = ctx.rank_of((ctx.node - offset) % N, ctx.local_rank)
-            src = ctx.rank_of((ctx.node + offset) % N, ctx.local_rank)
-            rreq = ctx.irecv(src, A.view(offset * block, cnt * block), tag=tag)
-            sreq = yield from ctx.isend(dst, A.view(0, cnt * block), tag=tag)
-            yield from ctx.wait(rreq)
-            yield from ctx.wait(sreq)
-        # next round's sends read blocks my peers received: synchronise
-        yield from intra_barrier(ctx, (ns, "round", rnd))
-        S *= P + 1
-        rnd += 1
-
-    # -- 3. rotate into absolute order, straight into my receive buffer ----
-    head = (N - ctx.node) * block
-    yield from ctx.copy(recvbuf.view(ctx.node * block, head), A.view(0, head))
-    if ctx.node:
-        yield from ctx.copy(
-            recvbuf.view(0, ctx.node * block), A.view(head, N * block - head)
-        )
+    schedule = plan_allgather_small(N, P, C)
+    yield from ScheduleExecutor(schedule).run(
+        ctx, {"send": sendbuf, "recv": recvbuf}
+    )

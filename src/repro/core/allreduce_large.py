@@ -14,7 +14,7 @@ Three phases, all multi-object:
    chunk ``n`` and folds them in.
 3. **Internode multi-object ring allgather** of the per-node chunks with
    overlapped intranode broadcast (shared with §III-B1 via
-   :mod:`repro.core.ring`).
+   :mod:`repro.sched.plans.ring`).
 
 This reduces internode volume from the small-message algorithm's
 ``C_b * P * ceil(log_{P+1} N)`` to ``~2 * C_b * (N-1)/N`` per node — the
@@ -23,18 +23,19 @@ paper switches to it at 8 k double counts (64 kB).
 The paper assumes ``N`` divisible by ``P`` and ``C_b`` divisible by ``N``;
 we use near-equal partitions (``block_partition``) instead, so any shape is
 correct.
+
+Compiled by :func:`repro.sched.plans.mcoll.plan_allreduce_large` and
+replayed by the :class:`~repro.sched.executor.ScheduleExecutor`.
 """
 
 from __future__ import annotations
 
 from repro.mpi.buffer import Buffer
-from repro.mpi.collectives.group import block_partition
 from repro.mpi.datatypes import ReduceOp
 from repro.mpi.runtime import RankCtx
+from repro.sched.executor import ScheduleExecutor
+from repro.sched.plans.mcoll import plan_allreduce_large
 from repro.sim.engine import ProcGen
-
-from repro.core.intranode import intra_barrier, intra_reduce_chunked
-from repro.core.ring import ring_allgather_blocks
 
 __all__ = ["mcoll_allreduce_large"]
 
@@ -47,73 +48,7 @@ def mcoll_allreduce_large(
     N, P, C = ctx.nodes, ctx.ppn, sendbuf.count
     if recvbuf.count != C:
         raise ValueError(f"recvbuf has {recvbuf.count} elements, need {C}")
-    ns = ctx.next_op_seq()
-    tag = ns
-    board = ctx.pip.board
-
-    # -- 1. intranode chunk-parallel reduce into the local root's staging --
-    if ctx.local_rank == 0:
-        A = ctx.alloc(sendbuf.dtype, C)
-        yield from board.post((ns, "A"), A)
-    else:
-        A = yield from board.lookup((ns, "A"))
-    yield from intra_reduce_chunked(
-        ctx, sendbuf, A if ctx.local_rank == 0 else None, op, all_wait=True
+    schedule = plan_allreduce_large(N, P, C)
+    yield from ScheduleExecutor(schedule).run(
+        ctx, {"send": sendbuf, "recv": recvbuf}, op=op
     )
-
-    if N > 1:
-        # -- 2. internode multi-object reduce-scatter -----------------------
-        chunk_counts, chunk_displs = block_partition(C, N)
-        node_counts, node_displs = block_partition(N, P)  # paired-node ranges
-        my_nodes = range(
-            node_displs[ctx.local_rank],
-            node_displs[ctx.local_rank] + node_counts[ctx.local_rank],
-        )
-        owner_local = _owner_of(ctx.node, node_counts, node_displs)
-
-        reqs = []
-        rtemps = []
-        if ctx.local_rank == owner_local and chunk_counts[ctx.node]:
-            # I fold the N-1 incoming copies of my node's chunk
-            for n in range(N):
-                if n == ctx.node:
-                    continue
-                rt = ctx.alloc(sendbuf.dtype, chunk_counts[ctx.node])
-                rtemps.append((n, rt))
-                reqs.append(
-                    ctx.irecv(ctx.rank_of(n, owner_local), rt, tag=tag)
-                )
-        for n in my_nodes:
-            if n == ctx.node or chunk_counts[n] == 0:
-                continue
-            dst_owner = _owner_of(n, node_counts, node_displs)
-            sreq = yield from ctx.isend(
-                ctx.rank_of(n, dst_owner),
-                A.view(chunk_displs[n], chunk_counts[n]),
-                tag=tag,
-            )
-            reqs.append(sreq)
-        yield from ctx.waitall(reqs)
-        for _n, rt in rtemps:
-            yield from ctx.reduce_into(
-                A.view(chunk_displs[ctx.node], chunk_counts[ctx.node]), rt, op
-            )
-        # everyone must see the node's finished chunk before the ring
-        yield from intra_barrier(ctx, (ns, "rs-done"))
-
-        # -- 3. multi-object ring allgather of the chunks -------------------
-        yield from ring_allgather_blocks(
-            ctx, (ns, "ring"), A, chunk_counts, chunk_displs, recvbuf
-        )
-    else:
-        # single node: A already holds the global result (all_wait above
-        # synchronised every rank on its completion)
-        yield from ctx.copy(recvbuf, A)
-
-
-def _owner_of(node: int, node_counts, node_displs) -> int:
-    """Local rank whose paired-node range contains ``node``."""
-    for lr, (cnt, off) in enumerate(zip(node_counts, node_displs)):
-        if off <= node < off + cnt:
-            return lr
-    raise AssertionError(f"node {node} not covered by any paired range")

@@ -28,31 +28,21 @@ paper's remainder stage pays.
 The per-round intranode synchronisation this algorithm needs is the
 "multi-object synchronisation" overhead §IV-B3 discusses — it is charged
 faithfully through the PiP counter costs.
+
+Compiled by :func:`repro.sched.plans.mcoll.plan_allreduce_small` and
+replayed by the :class:`~repro.sched.executor.ScheduleExecutor`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
-
 from repro.mpi.buffer import Buffer
-from repro.mpi.collectives.group import block_partition
 from repro.mpi.datatypes import ReduceOp
 from repro.mpi.runtime import RankCtx
+from repro.sched.executor import ScheduleExecutor
+from repro.sched.plans.mcoll import plan_allreduce_small
 from repro.sim.engine import ProcGen
-from repro.util.intmath import ilog
-
-from repro.core.intranode import intra_barrier, intra_reduce_binomial
 
 __all__ = ["mcoll_allreduce_small"]
-
-
-def _digits(value: int, base: int, ndigits: int) -> List[int]:
-    """Base-``base`` digits of ``value``, least significant first."""
-    out = []
-    for _ in range(ndigits):
-        value, d = divmod(value, base)
-        out.append(d)
-    return out
 
 
 def mcoll_allreduce_small(
@@ -63,132 +53,7 @@ def mcoll_allreduce_small(
     N, P, C = ctx.nodes, ctx.ppn, sendbuf.count
     if recvbuf.count != C:
         raise ValueError(f"recvbuf has {recvbuf.count} elements, need {C}")
-    ns = ctx.next_op_seq()
-    tag = ns
-    board = ctx.pip.board
-    B = P + 1
-
-    # -- 1. intranode binomial reduce into the local root's recvbuf --------
-    yield from intra_reduce_binomial(
-        ctx, sendbuf, recvbuf if ctx.local_rank == 0 else None, op
+    schedule = plan_allreduce_small(N, P, C)
+    yield from ScheduleExecutor(schedule).run(
+        ctx, {"send": sendbuf, "recv": recvbuf}, op=op
     )
-    if ctx.local_rank == 0:
-        acc = recvbuf
-        yield from board.post((ns, "acc"), acc)
-    else:
-        acc = yield from board.lookup((ns, "acc"))
-
-    if N > 1:
-        k = ilog(B, N)
-        W = B**k
-        R = N - W
-        digits = _digits(R, B, k + 1)
-
-        # persistent per-process receive temp, posted once (the real
-        # implementation exchanges these addresses at communicator setup)
-        temp = ctx.alloc(sendbuf.dtype, C)
-        yield from board.post((ns, "tmp", ctx.local_rank), temp)
-        peer_temps: List[Buffer] = []
-        for l in range(P):
-            if l == ctx.local_rank:
-                peer_temps.append(temp)
-            else:
-                t = yield from board.lookup((ns, "tmp", l))
-                peer_temps.append(t)
-
-        my_off, my_cnt = _my_chunk(ctx, C)
-
-        # snapshot buffers for non-zero remainder digits (paper's A_r);
-        # snapshot j holds acc when its window is (P+1)^j nodes wide.
-        # j == k needs no buffer: that window is acc after the full rounds.
-        snaps: Dict[int, Buffer] = {}
-        for j in range(k):
-            if digits[j]:
-                if ctx.local_rank == 0:
-                    s = ctx.alloc(sendbuf.dtype, C)
-                    yield from board.post((ns, "snap", j), s)
-                else:
-                    s = yield from board.lookup((ns, "snap", j))
-                snaps[j] = s
-
-        # window-1 snapshot: acc before any internode round touches it
-        if 0 in snaps:
-            if my_cnt:
-                yield from ctx.copy(
-                    snaps[0].view(my_off, my_cnt), acc.view(my_off, my_cnt)
-                )
-            yield from intra_barrier(ctx, (ns, "snap-bar", 0))
-
-        # -- 2. full multi-object Bruck rounds ------------------------------
-        for j in range(k):
-            S = B**j
-            offset = (ctx.local_rank + 1) * S
-            dst = ctx.rank_of((ctx.node - offset) % N, ctx.local_rank)
-            src = ctx.rank_of((ctx.node + offset) % N, ctx.local_rank)
-            rreq = ctx.irecv(src, temp, tag=tag)
-            sreq = yield from ctx.isend(dst, acc, tag=tag)
-            yield from ctx.wait(rreq)
-            yield from ctx.wait(sreq)
-            yield from intra_barrier(ctx, (ns, "recvd", j))
-            # chunk-parallel fold of all P received partials into acc
-            if my_cnt:
-                for t in peer_temps:
-                    yield from ctx.reduce_into(
-                        acc.view(my_off, my_cnt), t.view(my_off, my_cnt), op
-                    )
-            yield from intra_barrier(ctx, (ns, "folded", j))
-            if (j + 1) in snaps:
-                # window B^(j+1) snapshot, chunk-parallel copy
-                if my_cnt:
-                    yield from ctx.copy(
-                        snaps[j + 1].view(my_off, my_cnt), acc.view(my_off, my_cnt)
-                    )
-                yield from intra_barrier(ctx, (ns, "snap-bar", j + 1))
-
-        # -- 3. remainder phase (digit decomposition) ------------------------
-        if R:
-            pairs: List[Tuple[int, int]] = []  # (node offset, window round j)
-            O = W
-            for j in range(k, -1, -1):
-                for _ in range(digits[j]):
-                    pairs.append((O, j))
-                    O += B**j
-            assert O == N
-            mine = pairs[ctx.local_rank :: P]
-            rtemps = []
-            reqs = []
-            for idx, (offset, j) in enumerate(mine):
-                src = ctx.rank_of((ctx.node + offset) % N, ctx.local_rank)
-                dst = ctx.rank_of((ctx.node - offset) % N, ctx.local_rank)
-                rt = ctx.alloc(sendbuf.dtype, C)
-                yield from board.post((ns, "rtmp", ctx.local_rank, idx), rt)
-                rtemps.append(rt)
-                payload = acc if j == k else snaps[j]
-                reqs.append(ctx.irecv(src, rt, tag=tag + 1 + idx))
-                sreq = yield from ctx.isend(dst, payload, tag=tag + 1 + idx)
-                reqs.append(sreq)
-            yield from ctx.waitall(reqs)
-            yield from intra_barrier(ctx, (ns, "rem-recvd"))
-            # chunk-parallel fold of every remainder temp into acc
-            if my_cnt:
-                for l in range(P):
-                    n_l = len(pairs[l::P])
-                    for idx in range(n_l):
-                        if l == ctx.local_rank:
-                            rt = rtemps[idx]
-                        else:
-                            rt = yield from board.lookup((ns, "rtmp", l, idx))
-                        yield from ctx.reduce_into(
-                            acc.view(my_off, my_cnt), rt.view(my_off, my_cnt), op
-                        )
-            yield from intra_barrier(ctx, (ns, "rem-folded"))
-
-    # -- 4. intranode broadcast of the final result -------------------------
-    if ctx.local_rank != 0:
-        yield from ctx.copy(recvbuf, acc)
-
-
-def _my_chunk(ctx: RankCtx, count: int) -> Tuple[int, int]:
-    """This process's chunk of a ``count``-element node buffer."""
-    counts, displs = block_partition(count, ctx.ppn)
-    return displs[ctx.local_rank], counts[ctx.local_rank]

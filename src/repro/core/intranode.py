@@ -22,6 +22,11 @@ Cost behaviour matches §III-C:
 * large reduce — every buffer is chunked P ways and process *i* reduces
   chunk *i* of every source into the destination (Fig. 5): P-way parallel
   reduction bandwidth.
+
+Each operation is compiled to a per-local-rank schedule by the planners in
+:mod:`repro.sched.plans.intranode` and replayed here by the
+:class:`~repro.sched.executor.ScheduleExecutor`; ``intra_barrier`` stays a
+plain generator (it is keyed by the caller and too small to plan).
 """
 
 from __future__ import annotations
@@ -29,9 +34,15 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.mpi.buffer import Buffer
-from repro.mpi.collectives.group import block_partition
 from repro.mpi.datatypes import ReduceOp
 from repro.mpi.runtime import RankCtx
+from repro.sched.executor import ScheduleExecutor
+from repro.sched.plans.intranode import (
+    plan_intra_bcast,
+    plan_intra_gather,
+    plan_intra_reduce_binomial,
+    plan_intra_reduce_chunked,
+)
 from repro.sim.engine import ProcGen
 
 __all__ = [
@@ -54,27 +65,10 @@ def intra_bcast(
     ctx: RankCtx, buf: Buffer, root_local: int = 0, large: bool = False
 ) -> ProcGen:
     """Intranode broadcast of the root's ``buf`` into every rank's ``buf``."""
-    ns = ("ib", ctx.next_op_seq())
-    if ctx.ppn == 1:
-        return
-    board = ctx.pip.board
-    if ctx.local_rank == root_local:
-        if large:
-            # post the source buffer itself; peers copy straight out of it,
-            # and we must wait for them before reusing it
-            yield from board.post((ns, "src"), buf)
-            done = ctx.pip.counter((ns, "done"))
-            yield from done.wait_at_least(ctx.ppn - 1)
-        else:
-            # copy through a staging buffer so the root can move on
-            staging = ctx.alloc(buf.dtype, buf.count)
-            yield from ctx.copy(staging, buf)
-            yield from board.post((ns, "src"), staging)
-    else:
-        src = yield from board.lookup((ns, "src"))
-        yield from ctx.copy(buf, src)
-        if large:
-            yield from ctx.pip.counter((ns, "done")).add(1)
+    schedule = plan_intra_bcast(ctx.ppn, buf.count, root_local, large)
+    yield from ScheduleExecutor(schedule).run(
+        ctx, {"buf": buf}, program_index=ctx.local_rank
+    )
 
 
 def intra_gather(
@@ -86,23 +80,12 @@ def intra_gather(
     """Intranode gather: rank ``l``'s block lands at offset ``l * count``
     of the root's ``recvbuf``.  Every process copies its own block in —
     P-way parallel, the inverse of Fig. 5's layout."""
-    ns = ("ig", ctx.next_op_seq())
-    count = sendbuf.count
-    board = ctx.pip.board
     if ctx.local_rank == root_local:
         assert recvbuf is not None, "root must supply a receive buffer"
-        if ctx.ppn == 1:
-            yield from ctx.copy(recvbuf.view(0, count), sendbuf)
-            return
-        yield from board.post((ns, "dst"), recvbuf)
-        dst = recvbuf
-    else:
-        dst = yield from board.lookup((ns, "dst"))
-    yield from ctx.copy(dst.view(ctx.local_rank * count, count), sendbuf)
-    done = ctx.pip.counter((ns, "done"))
-    yield from done.add(1)
-    if ctx.local_rank == root_local:
-        yield from done.wait_at_least(ctx.ppn)
+    schedule = plan_intra_gather(ctx.ppn, sendbuf.count, root_local)
+    yield from ScheduleExecutor(schedule).run(
+        ctx, {"send": sendbuf, "recv": recvbuf}, program_index=ctx.local_rank
+    )
 
 
 def intra_reduce_binomial(
@@ -117,33 +100,13 @@ def intra_reduce_binomial(
     Each tree parent reads its child's accumulator straight out of the
     child's memory (PiP) — ``ceil(log2 P)`` rounds, no staging copies.
     """
-    ns = ("irb", ctx.next_op_seq())
-    count = sendbuf.count
-    rel = (ctx.local_rank - root_local) % ctx.ppn
-
-    if rel == 0:
+    if (ctx.local_rank - root_local) % ctx.ppn == 0:
         assert recvbuf is not None, "root must supply a receive buffer"
-        acc = recvbuf
-    else:
-        acc = ctx.alloc(sendbuf.dtype, count)
-    yield from ctx.copy(acc, sendbuf)
-    if ctx.ppn == 1:
-        return
-
-    board = ctx.pip.board
-    mask = 1
-    while mask < ctx.ppn:
-        if rel & mask:
-            # expose my accumulator to my parent; stay alive until it reads
-            yield from board.post((ns, "acc", rel), acc)
-            yield from ctx.pip.counter((ns, "read", rel)).wait_at_least(1)
-            return
-        child = rel | mask
-        if child < ctx.ppn:
-            child_acc = yield from board.lookup((ns, "acc", child))
-            yield from ctx.reduce_into(acc, child_acc, op)
-            yield from ctx.pip.counter((ns, "read", child)).add(1)
-        mask <<= 1
+    schedule = plan_intra_reduce_binomial(ctx.ppn, sendbuf.count, root_local)
+    yield from ScheduleExecutor(schedule).run(
+        ctx, {"send": sendbuf, "recv": recvbuf}, op=op,
+        program_index=ctx.local_rank,
+    )
 
 
 def intra_reduce_chunked(
@@ -164,45 +127,12 @@ def intra_reduce_chunked(
     reduced (needed when all ranks immediately read it, as in the
     large-message allreduce); otherwise only the root waits.
     """
-    ns = ("irc", ctx.next_op_seq())
-    count = sendbuf.count
-    P = ctx.ppn
-
-    if P == 1:
-        assert recvbuf is not None
-        yield from ctx.copy(recvbuf, sendbuf)
-        return
-
-    board = ctx.pip.board
-    yield from board.post((ns, "src", ctx.local_rank), sendbuf)
-    if ctx.local_rank == root_local:
+    if ctx.local_rank == root_local or ctx.ppn == 1:
         assert recvbuf is not None, "root must supply a receive buffer"
-        yield from board.post((ns, "dst"), recvbuf)
-        dst = recvbuf
-    else:
-        dst = yield from board.lookup((ns, "dst"))
-
-    counts, displs = block_partition(count, P)
-    off, cnt = displs[ctx.local_rank], counts[ctx.local_rank]
-    if cnt:
-        # seed my chunk with the root's contribution, then fold in peers
-        root_src = yield from _lookup_src(ctx, board, ns, root_local, sendbuf)
-        yield from ctx.copy(dst.view(off, cnt), root_src.view(off, cnt))
-        for peer in range(P):
-            if peer == root_local:
-                continue
-            src = yield from _lookup_src(ctx, board, ns, peer, sendbuf)
-            yield from ctx.reduce_into(dst.view(off, cnt), src.view(off, cnt), op)
-
-    done = ctx.pip.counter((ns, "done"))
-    yield from done.add(1)
-    if all_wait or ctx.local_rank == root_local:
-        yield from done.wait_at_least(P)
-
-
-def _lookup_src(ctx: RankCtx, board, ns, peer: int, own: Buffer) -> ProcGen:
-    """Resolve a peer's posted source buffer (my own without a lookup)."""
-    if peer == ctx.local_rank:
-        return own
-    buf = yield from board.lookup((ns, "src", peer))
-    return buf
+    schedule = plan_intra_reduce_chunked(
+        ctx.ppn, sendbuf.count, root_local, all_wait
+    )
+    yield from ScheduleExecutor(schedule).run(
+        ctx, {"send": sendbuf, "recv": recvbuf}, op=op,
+        program_index=ctx.local_rank,
+    )

@@ -15,6 +15,9 @@ is complete once all ``P`` lane counters for it have arrived.
 Blocks may have heterogeneous sizes (``node_counts``/``node_displs`` in
 elements): uniform ``P*C`` blocks for the plain allgather, ``C/N``-ish
 chunks for the allreduce's gather stage.
+
+Compiled by :func:`repro.sched.plans.ring.plan_ring_allgather_blocks`; the
+caller-supplied namespace binds symbolically at execution time.
 """
 
 from __future__ import annotations
@@ -22,8 +25,9 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.mpi.buffer import Buffer
-from repro.mpi.collectives.group import block_partition
 from repro.mpi.runtime import RankCtx
+from repro.sched.executor import ScheduleExecutor
+from repro.sched.plans.ring import plan_ring_allgather_blocks
 from repro.sim.engine import ProcGen
 
 __all__ = ["ring_allgather_blocks"]
@@ -45,62 +49,11 @@ def ring_allgather_blocks(
     node block is already complete, and all local ranks have synchronised
     on that fact.  ``recvbuf`` is this rank's private full-size buffer.
     """
-    N, P = ctx.nodes, ctx.ppn
-    node = ctx.node
-    lr = ctx.local_rank
-    tag = ns if isinstance(ns, int) else hash(ns) & 0x7FFFFFFF
-
-    def lane(b: int):
-        """(element offset, count) of my lane's slice of block ``b``."""
-        counts, displs = block_partition(node_counts[b], P)
-        return node_displs[b] + displs[lr], counts[lr]
-
-    def block_done(b: int):
-        return ctx.pip.counter((ns, "blk", b))
-
-    # own block is complete by precondition
-    own = node
-    yield from ctx.copy(
-        recvbuf.view(node_displs[own], node_counts[own]),
-        staging.view(node_displs[own], node_counts[own]),
+    schedule = plan_ring_allgather_blocks(
+        ctx.nodes, ctx.ppn, tuple(node_counts), tuple(node_displs), overlap
     )
-    if N == 1:
-        return
-
-    right = ctx.rank_of((node + 1) % N, lr)
-    left = ctx.rank_of((node - 1) % N, lr)
-
-    for step in range(N - 1):
-        send_block = (node - step) % N
-        recv_block = (node - step - 1) % N
-        s_off, s_cnt = lane(send_block)
-        r_off, r_cnt = lane(recv_block)
-        rreq = ctx.irecv(left, staging.view(r_off, r_cnt), tag=tag)
-        sreq = yield from ctx.isend(right, staging.view(s_off, s_cnt), tag=tag)
-
-        if overlap and step > 0:
-            # overlapped intranode broadcast of the block completed last step
-            done_block = (node - step) % N
-            yield from block_done(done_block).wait_at_least(P)
-            yield from ctx.copy(
-                recvbuf.view(node_displs[done_block], node_counts[done_block]),
-                staging.view(node_displs[done_block], node_counts[done_block]),
-            )
-
-        yield from ctx.wait(rreq)
-        yield from ctx.wait(sreq)
-        yield from block_done(recv_block).add(1)
-
-    # drain: everything not yet broadcast intranode (just the final step's
-    # block with overlap on; all N-1 foreign blocks with it off)
-    pending = (
-        [(node + 1) % N]
-        if overlap
-        else [b for b in range(N) if b != node]
+    yield from ScheduleExecutor(schedule).run(
+        ctx,
+        {"staging": staging, "recv": recvbuf},
+        symbols={"ns": ns},
     )
-    for b in pending:
-        yield from block_done(b).wait_at_least(P)
-        yield from ctx.copy(
-            recvbuf.view(node_displs[b], node_counts[b]),
-            staging.view(node_displs[b], node_counts[b]),
-        )

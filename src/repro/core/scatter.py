@@ -19,13 +19,19 @@ non-zero roots.
 Cost model (§III-A1): ``T = max(T_intrascatter, T_interscatter)`` with
 ``T_intrascatter = a_r + P*C_b*b_r`` and
 ``T_interscatter = a_e*ceil(log_{P+1} N) + C_b*(N-1)*P*b_e``.
+
+The algorithm is compiled to a per-rank schedule by
+:func:`repro.sched.plans.mcoll.plan_scatter` and replayed here by the
+:class:`~repro.sched.executor.ScheduleExecutor` — bit-identical in
+simulated time to the generator it replaced.
 """
 
 from __future__ import annotations
 
 from repro.mpi.buffer import Buffer
-from repro.mpi.collectives.group import block_partition
 from repro.mpi.runtime import RankCtx
+from repro.sched.executor import ScheduleExecutor
+from repro.sched.plans.mcoll import plan_scatter
 from repro.sim.engine import ProcGen
 
 __all__ = ["mcoll_scatter"]
@@ -42,76 +48,9 @@ def mcoll_scatter(
     block copy then happens only after the internode sends complete) — an
     ablation knob for the design choice §III-A1 calls out.
     """
-    N, P, C = ctx.nodes, ctx.ppn, recvbuf.count
-    ns = ctx.next_op_seq()
-    tag = ns
-    board = ctx.pip.board
-    root_node = ctx.node_of(root)
-    root_local = root - root_node * P
-    vnode = (ctx.node - root_node) % N  # virtual node id, root node first
-
-    # ---- root: stage data in virtual-node order and post it --------------
     if ctx.rank == root:
         assert sendbuf is not None, "root must supply a send buffer"
-        block = P * C
-        if root_node == 0 or N == 1:
-            staging = sendbuf
-        else:
-            # one rotation copy so virtual node v's block sits at v * block
-            staging = ctx.alloc(sendbuf.dtype, N * block)
-            head = (N - root_node) * block
-            yield from ctx.copy(staging.view(0, head), sendbuf.view(root_node * block, head))
-            yield from ctx.copy(staging.view(head, N * block - head), sendbuf.view(0, N * block - head))
-        yield from board.post((ns, "stage"), (staging, 0))
-
-    # ---- internode (P+1)-ary tree rounds ---------------------------------
-    staging = None
-    sbase = 0  # virtual node id of staging block 0
-    copied_own = False
-    lo, hi = 0, N
-    while hi - lo > 1:
-        n = hi - lo
-        parts = min(P + 1, n)
-        counts, displs = block_partition(n, parts)
-        if vnode == lo:
-            # I am on the group-root node: multi-object send phase
-            if staging is None:
-                staging, sbase = yield from board.lookup((ns, "stage"))
-            chunk = ctx.local_rank + 1
-            req = None
-            if chunk < parts and counts[chunk] > 0:
-                dst_v = lo + displs[chunk]
-                dst_rank = ctx.rank_of((root_node + dst_v) % N, 0)
-                off = (dst_v - sbase) * P * C
-                req = yield from ctx.isend(
-                    dst_rank, staging.view(off, counts[chunk] * P * C), tag=tag
-                )
-            if overlap and not copied_own:
-                # overlapped intranode scatter of my own C elements
-                off = (vnode - sbase) * P * C + ctx.local_rank * C
-                yield from ctx.copy(recvbuf, staging.view(off, C))
-                copied_own = True
-            if req is not None:
-                yield from ctx.wait(req)
-            hi = lo + counts[0]
-        else:
-            # find my chunk and narrow
-            rel = vnode - lo
-            chunk = 0
-            while not (displs[chunk] <= rel < displs[chunk] + counts[chunk]):
-                chunk += 1
-            new_lo = lo + displs[chunk]
-            if vnode == new_lo and ctx.local_rank == 0:
-                # my node receives its sub-tree's data this round
-                stg = ctx.alloc(recvbuf.dtype, counts[chunk] * P * C)
-                src_rank = ctx.rank_of((root_node + lo) % N, chunk - 1)
-                yield from ctx.recv(src_rank, stg, tag=tag)
-                yield from board.post((ns, "stage"), (stg, new_lo))
-            lo, hi = new_lo, new_lo + counts[chunk]
-
-    # ---- final intranode scatter for ranks that never sent ---------------
-    if not copied_own:
-        if staging is None:
-            staging, sbase = yield from board.lookup((ns, "stage"))
-        off = (vnode - sbase) * P * C + ctx.local_rank * C
-        yield from ctx.copy(recvbuf, staging.view(off, C))
+    schedule = plan_scatter(ctx.nodes, ctx.ppn, recvbuf.count, root, overlap)
+    yield from ScheduleExecutor(schedule).run(
+        ctx, {"send": sendbuf, "recv": recvbuf}
+    )

@@ -9,6 +9,7 @@ i.e. 64 kB (Fig. 14).  The scatter uses one algorithm across all sizes
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
 from repro.util.units import KB
 
@@ -18,6 +19,10 @@ __all__ = ["Thresholds"]
 @dataclass(frozen=True)
 class Thresholds:
     """Size switch-points, in bytes of per-process message size."""
+
+    #: a switch point no message size ever reaches: "never switch to the
+    #: large-message algorithm"
+    NEVER: ClassVar[int] = 1 << 62
 
     #: allgather: small-message Bruck below, multi-object ring at/above
     allgather_large_bytes: int = 64 * KB
@@ -32,7 +37,9 @@ class Thresholds:
     def always_small(cls) -> "Thresholds":
         """Force the small-message algorithms everywhere (the
         "PiP-MColl-small" variant of Figs. 13–14)."""
-        return cls(allgather_large_bytes=1 << 62, allreduce_large_bytes=1 << 62)
+        return cls(
+            allgather_large_bytes=cls.NEVER, allreduce_large_bytes=cls.NEVER
+        )
 
     @classmethod
     def always_large(cls) -> "Thresholds":

@@ -3,6 +3,12 @@
 These are the three classical choices the paper names (§III-A2): Bruck for
 small non-power-of-two, recursive doubling for small power-of-two, ring for
 large messages.
+
+Each is compiled to a per-group-index schedule by the planners in
+:mod:`repro.sched.plans.baseline` and replayed by the
+:class:`~repro.sched.executor.ScheduleExecutor`.  The communicator-scoped
+tag is drawn here (it mutates per-(rank, group) counters) and bound
+symbolically into the schedule.
 """
 
 from __future__ import annotations
@@ -10,6 +16,12 @@ from __future__ import annotations
 from repro.mpi.buffer import Buffer
 from repro.mpi.collectives.group import Group
 from repro.mpi.runtime import RankCtx
+from repro.sched.executor import ScheduleExecutor
+from repro.sched.plans.baseline import (
+    plan_allgather_bruck,
+    plan_allgather_recursive_doubling,
+    plan_allgather_ring,
+)
 from repro.sim.engine import ProcGen
 from repro.util.intmath import is_power_of
 
@@ -32,35 +44,11 @@ def allgather_bruck(
         raise ValueError(
             f"recvbuf has {recvbuf.count} elements, need {size * count}"
         )
-
-    if size == 1:
-        yield from ctx.copy(recvbuf, sendbuf)
-        return
-
-    staging = ctx.alloc(sendbuf.dtype, size * count)
-    yield from ctx.copy(staging.view(0, count), sendbuf)
-
-    pof = 1
-    while pof < size:
-        blocks = min(pof, size - pof)
-        dst = group.rank_at((me - pof) % size)
-        src = group.rank_at((me + pof) % size)
-        rreq = ctx.irecv(src, staging.view(pof * count, blocks * count), tag=tag)
-        sreq = yield from ctx.isend(dst, staging.view(0, blocks * count), tag=tag)
-        yield from ctx.wait(rreq)
-        yield from ctx.wait(sreq)
-        pof <<= 1
-
-    # staging block j holds rank (me + j) % size's data; rotate so that
-    # recvbuf block i holds group index i's data
-    head = size - me
-    yield from ctx.copy(
-        recvbuf.view(me * count, head * count), staging.view(0, head * count)
+    schedule = plan_allgather_bruck(group.ranks, count)
+    yield from ScheduleExecutor(schedule).run(
+        ctx, {"send": sendbuf, "recv": recvbuf},
+        symbols={"tag": tag}, program_index=me,
     )
-    if me:
-        yield from ctx.copy(
-            recvbuf.view(0, me * count), staging.view(head * count, me * count)
-        )
 
 
 def allgather_recursive_doubling(
@@ -77,24 +65,11 @@ def allgather_recursive_doubling(
         raise ValueError(
             f"recvbuf has {recvbuf.count} elements, need {size * count}"
         )
-
-    yield from ctx.copy(recvbuf.view(me * count, count), sendbuf)
-
-    mask = 1
-    while mask < size:
-        partner = me ^ mask
-        base = (me // mask) * mask
-        pbase = (partner // mask) * mask
-        dst = group.rank_at(partner)
-        rreq = ctx.irecv(
-            dst, recvbuf.view(pbase * count, mask * count), tag=tag
-        )
-        sreq = yield from ctx.isend(
-            dst, recvbuf.view(base * count, mask * count), tag=tag
-        )
-        yield from ctx.wait(rreq)
-        yield from ctx.wait(sreq)
-        mask <<= 1
+    schedule = plan_allgather_recursive_doubling(group.ranks, count)
+    yield from ScheduleExecutor(schedule).run(
+        ctx, {"send": sendbuf, "recv": recvbuf},
+        symbols={"tag": tag}, program_index=me,
+    )
 
 
 def allgather_ring(
@@ -112,21 +87,8 @@ def allgather_ring(
         raise ValueError(
             f"recvbuf has {recvbuf.count} elements, need {size * count}"
         )
-
-    yield from ctx.copy(recvbuf.view(me * count, count), sendbuf)
-    if size == 1:
-        return
-
-    right = group.rank_at((me + 1) % size)
-    left = group.rank_at((me - 1) % size)
-    for step in range(size - 1):
-        send_block = (me - step) % size
-        recv_block = (me - step - 1) % size
-        rreq = ctx.irecv(
-            left, recvbuf.view(recv_block * count, count), tag=tag
-        )
-        sreq = yield from ctx.isend(
-            right, recvbuf.view(send_block * count, count), tag=tag
-        )
-        yield from ctx.wait(rreq)
-        yield from ctx.wait(sreq)
+    schedule = plan_allgather_ring(group.ranks, count)
+    yield from ScheduleExecutor(schedule).run(
+        ctx, {"send": sendbuf, "recv": recvbuf},
+        symbols={"tag": tag}, program_index=me,
+    )

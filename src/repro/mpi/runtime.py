@@ -72,6 +72,9 @@ class RankCtx:
         self.params: MachineParams = world.params
         self.mem = world.hw.memories[self.node]
         self.pip: PipNode = world.pip_nodes[self.node]
+        #: name of the algorithm phase currently executing (set by the
+        #: schedule executor's PhaseStep markers; threaded into trace spans)
+        self.phase: Optional[str] = None
         # per-rank collective sequence number; identical across ranks because
         # MPI requires all ranks to invoke collectives in the same order
         self._op_seq = 0
@@ -205,7 +208,8 @@ class RankCtx:
         tracer = self.world.tracer
         if tracer is not None:
             tracer.record(
-                self.rank, self.node, kind, t0, self.world.engine.now, detail
+                self.rank, self.node, kind, t0, self.world.engine.now, detail,
+                phase=self.phase or "",
             )
 
 

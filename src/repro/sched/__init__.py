@@ -1,0 +1,61 @@
+"""The schedule IR subsystem: collectives compiled to per-rank step plans.
+
+Layers:
+
+* :mod:`repro.sched.ir` — the typed step IR and symbolic values;
+* :mod:`repro.sched.emit` — the step-stream builder planners use;
+* :mod:`repro.sched.plans` — per-algorithm planners (core, ring,
+  intranode, baseline);
+* :mod:`repro.sched.executor` — replays any schedule on the live runtime
+  with bit-identical simulated timing;
+* :mod:`repro.sched.check` — the static checker (matched sends, acyclic
+  waits, buffer bounds, volume accounting), also a CLI:
+  ``python -m repro.sched.check --library pip-mcoll --collective allreduce
+  --np 8x16 --nbytes 64K``.
+"""
+
+from repro.sched.emit import Emitter
+from repro.sched.executor import ScheduleExecutor
+from repro.sched.ir import (
+    AllocStep,
+    BufRef,
+    ComputeStep,
+    CopyStep,
+    HashTag,
+    IntraOpStep,
+    Ns,
+    PhaseStep,
+    RankProgram,
+    RecvStep,
+    ReduceStep,
+    Schedule,
+    SendStep,
+    Step,
+    Sym,
+    TagOffset,
+    WaitStep,
+    resolve_key,
+)
+
+__all__ = [
+    "Emitter",
+    "ScheduleExecutor",
+    "AllocStep",
+    "BufRef",
+    "ComputeStep",
+    "CopyStep",
+    "HashTag",
+    "IntraOpStep",
+    "Ns",
+    "PhaseStep",
+    "RankProgram",
+    "RecvStep",
+    "ReduceStep",
+    "Schedule",
+    "SendStep",
+    "Step",
+    "Sym",
+    "TagOffset",
+    "WaitStep",
+    "resolve_key",
+]

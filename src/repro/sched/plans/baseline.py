@@ -1,0 +1,144 @@
+"""Planners for the classical group allgather algorithms.
+
+These back the baseline libraries' MPICH-style selection (Bruck for small
+non-power-of-two groups, recursive doubling for small power-of-two, ring
+for large).  Programs are indexed by *group index*; ``SendStep``/``RecvStep``
+targets are the group members' global ranks, baked in at plan time.  The
+communicator-scoped message tag stays symbolic (``Sym("tag")``): it comes
+from :meth:`RankCtx.collective_tag`, which mutates per-(rank, group) call
+counters and therefore must keep running in the wrapper.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+from repro.sched.emit import Emitter
+from repro.sched.ir import BufRef, Schedule, Sym
+
+__all__ = [
+    "plan_allgather_bruck",
+    "plan_allgather_recursive_doubling",
+    "plan_allgather_ring",
+]
+
+_TAG = Sym("tag")
+
+
+@lru_cache(maxsize=None)
+def plan_allgather_bruck(ranks: Tuple[int, ...], count: int) -> Schedule:
+    """Bruck allgather: ``ceil(log2 size)`` rounds, any group size."""
+    size = len(ranks)
+    programs = []
+    for me in range(size):
+        em = Emitter()
+        em.phase("bruck")
+        if size == 1:
+            em.copy(BufRef("recv"), BufRef("send"))
+            programs.append(em.build())
+            continue
+
+        staging = em.alloc("staging", size * count, dtype_of="send")
+        em.copy(staging.view(0, count), BufRef("send"))
+
+        pof = 1
+        while pof < size:
+            blocks = min(pof, size - pof)
+            dst = ranks[(me - pof) % size]
+            src = ranks[(me + pof) % size]
+            rreq = em.irecv(
+                src, staging.view(pof * count, blocks * count), _TAG
+            )
+            sreq = em.isend(dst, staging.view(0, blocks * count), _TAG)
+            em.wait(rreq)
+            em.wait(sreq)
+            pof <<= 1
+
+        # staging block j holds rank (me + j) % size's data; rotate so that
+        # recvbuf block i holds group index i's data
+        head = size - me
+        em.copy(
+            BufRef("recv", me * count, head * count),
+            staging.view(0, head * count),
+        )
+        if me:
+            em.copy(
+                BufRef("recv", 0, me * count),
+                staging.view(head * count, me * count),
+            )
+        programs.append(em.build())
+    return Schedule(
+        tuple(programs),
+        num_namespaces=0,
+        label=f"allgather-bruck g{size} c{count}",
+    )
+
+
+@lru_cache(maxsize=None)
+def plan_allgather_recursive_doubling(
+    ranks: Tuple[int, ...], count: int
+) -> Schedule:
+    """Recursive-doubling allgather (power-of-two group sizes only)."""
+    size = len(ranks)
+    programs = []
+    for me in range(size):
+        em = Emitter()
+        em.phase("recursive-doubling")
+        em.copy(BufRef("recv", me * count, count), BufRef("send"))
+
+        mask = 1
+        while mask < size:
+            partner = me ^ mask
+            base = (me // mask) * mask
+            pbase = (partner // mask) * mask
+            dst = ranks[partner]
+            rreq = em.irecv(
+                dst, BufRef("recv", pbase * count, mask * count), _TAG
+            )
+            sreq = em.isend(
+                dst, BufRef("recv", base * count, mask * count), _TAG
+            )
+            em.wait(rreq)
+            em.wait(sreq)
+            mask <<= 1
+        programs.append(em.build())
+    return Schedule(
+        tuple(programs),
+        num_namespaces=0,
+        label=f"allgather-recursive-doubling g{size} c{count}",
+    )
+
+
+@lru_cache(maxsize=None)
+def plan_allgather_ring(ranks: Tuple[int, ...], count: int) -> Schedule:
+    """Ring allgather: ``size - 1`` rounds of neighbour exchange."""
+    size = len(ranks)
+    programs = []
+    for me in range(size):
+        em = Emitter()
+        em.phase("ring")
+        em.copy(BufRef("recv", me * count, count), BufRef("send"))
+        if size == 1:
+            programs.append(em.build())
+            continue
+
+        right = ranks[(me + 1) % size]
+        left = ranks[(me - 1) % size]
+        for step in range(size - 1):
+            send_block = (me - step) % size
+            recv_block = (me - step - 1) % size
+            rreq = em.irecv(
+                left, BufRef("recv", recv_block * count, count), _TAG
+            )
+            sreq = em.isend(
+                right, BufRef("recv", send_block * count, count), _TAG
+            )
+            em.wait(rreq)
+            em.wait(sreq)
+        programs.append(em.build())
+    return Schedule(
+        tuple(programs),
+        num_namespaces=0,
+        label=f"allgather-ring g{size} c{count}",
+    )

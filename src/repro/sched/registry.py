@@ -1,0 +1,186 @@
+"""Planner-backed (library, collective) registry for static checking.
+
+Maps the benchmark-facing library/collective names to the planner that the
+live wrapper would execute for a given shape and message size — honouring
+the same selection logic (:class:`~repro.core.tuning.Thresholds` for
+PiP-MColl, MPICH's total-size/power-of-two selection for the flat
+baselines) — and describes the buffer environment each participant starts
+with, so :mod:`repro.sched.check` can verify the schedule without running
+the simulator.
+
+Coverage is exactly the planner-backed surface: the PiP-MColl primary
+collectives (scatter/allgather/allreduce, plus the forced-small variant)
+and the flat baselines' allgather.  The hierarchical libraries
+(MVAPICH2/IntelMPI) compose algorithms that still run as hand-written
+generators and are out of scope here.
+
+Buffer sizes are in *elements*; the microbenchmarks drive every collective
+with byte elements, so element counts equal byte counts throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sched.ir import Schedule
+from repro.sched.plans.baseline import (
+    plan_allgather_bruck,
+    plan_allgather_recursive_doubling,
+    plan_allgather_ring,
+)
+from repro.sched.plans.mcoll import (
+    plan_allgather_large,
+    plan_allgather_small,
+    plan_allreduce_large,
+    plan_allreduce_small,
+    plan_scatter,
+)
+from repro.util.intmath import is_power_of
+from repro.util.units import KB
+
+__all__ = [
+    "PlannedCollective",
+    "plan_for",
+    "registry_combinations",
+    "LIBRARIES",
+    "COLLECTIVES",
+]
+
+#: checker-facing library names (canonical, lowercase)
+LIBRARIES = ("pip-mcoll", "pip-mcoll-small", "pip-mpich", "openmpi")
+COLLECTIVES = ("scatter", "allgather", "allreduce")
+
+#: MPICH's flat allgather switches on *total* receive size (see
+#: repro.baselines.libraries._mpich_allgather)
+_MPICH_ALLGATHER_RING_TOTAL = 80 * KB
+
+
+@dataclass(frozen=True)
+class PlannedCollective:
+    """One checkable schedule plus its execution environment.
+
+    ``ranks[i]`` is the global rank running ``schedule.programs[i]``;
+    ``bindings[i]`` maps that participant's input buffer names to element
+    counts; ``symbols`` resolves the schedule's ``Sym`` markers (shared by
+    all participants, as at execution time).
+    """
+
+    label: str
+    schedule: Schedule
+    ranks: Tuple[int, ...]
+    bindings: Tuple[Dict[str, int], ...]
+    symbols: dict = field(default_factory=dict)
+
+
+def _norm_library(name: str) -> str:
+    canon = name.lower().replace("_", "-").replace(" ", "-")
+    if canon not in LIBRARIES:
+        raise ValueError(
+            f"no planner-backed library {name!r}; known: {list(LIBRARIES)}"
+        )
+    return canon
+
+
+def _mcoll_thresholds(library: str, thresholds) -> "Thresholds":
+    from repro.core.tuning import Thresholds
+
+    if thresholds is not None:
+        return thresholds
+    if library == "pip-mcoll-small":
+        return Thresholds.always_small()
+    return Thresholds()
+
+
+def plan_for(
+    library: str,
+    collective: str,
+    nodes: int,
+    ppn: int,
+    nbytes: int,
+    thresholds: Optional["Thresholds"] = None,
+) -> PlannedCollective:
+    """The schedule the named library would execute for this point.
+
+    ``nbytes`` is the per-process message size in bytes (byte elements),
+    matching the microbenchmark convention.
+    """
+    library = _norm_library(library)
+    if collective not in COLLECTIVES:
+        raise ValueError(
+            f"no planner-backed collective {collective!r}; "
+            f"known: {list(COLLECTIVES)}"
+        )
+    if nodes < 1 or ppn < 1 or nbytes < 1:
+        raise ValueError("nodes, ppn and nbytes must be positive")
+    size = nodes * ppn
+    world = tuple(range(size))
+
+    if library in ("pip-mcoll", "pip-mcoll-small"):
+        thr = _mcoll_thresholds(library, thresholds)
+        if collective == "scatter":
+            schedule = plan_scatter(nodes, ppn, nbytes, 0, True)
+            bindings = tuple(
+                {"send": size * nbytes, "recv": nbytes} if rank == 0
+                else {"recv": nbytes}
+                for rank in world
+            )
+        elif collective == "allgather":
+            if nbytes < thr.allgather_large_bytes:
+                schedule = plan_allgather_small(nodes, ppn, nbytes)
+            else:
+                schedule = plan_allgather_large(nodes, ppn, nbytes)
+            bindings = tuple(
+                {"send": nbytes, "recv": size * nbytes} for _ in world
+            )
+        else:  # allreduce
+            if nbytes < thr.allreduce_large_bytes:
+                schedule = plan_allreduce_small(nodes, ppn, nbytes)
+            else:
+                schedule = plan_allreduce_large(nodes, ppn, nbytes)
+            bindings = tuple(
+                {"send": nbytes, "recv": nbytes} for _ in world
+            )
+        return PlannedCollective(
+            label=f"{library} {collective} {nodes}x{ppn} {nbytes}B "
+                  f"[{schedule.label}]",
+            schedule=schedule,
+            ranks=world,
+            bindings=bindings,
+        )
+
+    # flat baselines (PiP-MPICH / OpenMPI share MPICH's selection)
+    if collective != "allgather":
+        raise ValueError(
+            f"{library} only has a planner-backed allgather; "
+            f"{collective} still runs as a generator"
+        )
+    total = size * nbytes
+    if total < _MPICH_ALLGATHER_RING_TOTAL:
+        if is_power_of(2, size):
+            schedule = plan_allgather_recursive_doubling(world, nbytes)
+        else:
+            schedule = plan_allgather_bruck(world, nbytes)
+    else:
+        schedule = plan_allgather_ring(world, nbytes)
+    return PlannedCollective(
+        label=f"{library} allgather {nodes}x{ppn} {nbytes}B "
+              f"[{schedule.label}]",
+        schedule=schedule,
+        ranks=world,
+        bindings=tuple(
+            {"send": nbytes, "recv": size * nbytes} for _ in world
+        ),
+        symbols={"tag": ("check-tag",)},
+    )
+
+
+def registry_combinations() -> List[Tuple[str, str]]:
+    """Every (library, collective) pair with planner-backed coverage."""
+    combos = [
+        (lib, coll)
+        for lib in ("pip-mcoll", "pip-mcoll-small")
+        for coll in COLLECTIVES
+    ]
+    combos += [("pip-mpich", "allgather"), ("openmpi", "allgather")]
+    return combos

@@ -31,6 +31,9 @@ class TraceEvent:
     t0: float
     t1: float
     detail: str = ""
+    #: algorithm phase the span belongs to ("" when untagged) — set by the
+    #: schedule executor's phase markers (see repro.sched)
+    phase: str = ""
 
     @property
     def duration(self) -> float:
@@ -49,12 +52,12 @@ class Tracer:
 
     def record(
         self, rank: int, node: int, kind: str, t0: float, t1: float,
-        detail: str = "",
+        detail: str = "", phase: str = "",
     ) -> None:
         if len(self.events) >= self.max_events:
             self.dropped += 1
             return
-        self.events.append(TraceEvent(rank, node, kind, t0, t1, detail))
+        self.events.append(TraceEvent(rank, node, kind, t0, t1, detail, phase))
 
     def clear(self) -> None:
         self.events.clear()
@@ -66,6 +69,13 @@ class Tracer:
         out: Dict[str, List[TraceEvent]] = defaultdict(list)
         for ev in self.events:
             out[ev.kind].append(ev)
+        return dict(out)
+
+    def by_phase(self) -> Dict[str, List[TraceEvent]]:
+        """Spans grouped by algorithm phase ("" = untagged activity)."""
+        out: Dict[str, List[TraceEvent]] = defaultdict(list)
+        for ev in self.events:
+            out[ev.phase].append(ev)
         return dict(out)
 
     def busy_time(self, rank: Optional[int] = None) -> Dict[str, float]:
@@ -86,22 +96,27 @@ class Tracer:
     # -- export ---------------------------------------------------------------
 
     def to_chrome_trace(self) -> dict:
-        """Chrome/Perfetto ``traceEvents`` JSON object (times in us)."""
-        return {
-            "traceEvents": [
-                {
-                    "name": ev.kind if not ev.detail else f"{ev.kind}:{ev.detail}",
-                    "ph": "X",
-                    "ts": ev.t0 * 1e6,
-                    "dur": ev.duration * 1e6,
-                    "pid": ev.node,
-                    "tid": ev.rank,
-                    "cat": ev.kind,
-                }
-                for ev in self.events
-            ],
-            "displayTimeUnit": "ns",
-        }
+        """Chrome/Perfetto ``traceEvents`` JSON object (times in us).
+
+        Phase-tagged spans carry the phase both as a category (so Perfetto
+        can filter "ring-allgather" spans) and in ``args`` (visible in the
+        span detail pane).
+        """
+        events = []
+        for ev in self.events:
+            entry = {
+                "name": ev.kind if not ev.detail else f"{ev.kind}:{ev.detail}",
+                "ph": "X",
+                "ts": ev.t0 * 1e6,
+                "dur": ev.duration * 1e6,
+                "pid": ev.node,
+                "tid": ev.rank,
+                "cat": ev.kind if not ev.phase else f"{ev.kind},{ev.phase}",
+            }
+            if ev.phase:
+                entry["args"] = {"phase": ev.phase}
+            events.append(entry)
+        return {"traceEvents": events, "displayTimeUnit": "ns"}
 
     def dump_chrome_trace(self, path: str) -> None:
         with open(path, "w") as fh:

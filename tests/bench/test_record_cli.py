@@ -18,6 +18,39 @@ def test_records_figure_to_file(tmp_path, capsys, monkeypatch):
     assert "fig06" in capsys.readouterr().out
 
 
+def test_trace_flag_dumps_phase_tagged_perfetto_json(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "trace.json"
+    rc = main([
+        "--scale", "small",
+        "--trace", str(out),
+        "--trace-point", "PiP-MColl/allreduce/64K",
+    ])
+    assert rc == 0
+    trace = json.loads(out.read_text())
+    events = trace["traceEvents"] if isinstance(trace, dict) else trace
+    assert events, "trace must contain spans"
+    phases = {e["args"].get("phase") for e in events if "args" in e}
+    phases.discard(None)
+    assert phases, "spans must carry phase tags"
+    stdout = capsys.readouterr().out
+    assert "traced" in stdout and "phases:" in stdout
+
+
+def test_trace_without_point_rejected():
+    with pytest.raises(SystemExit):
+        main(["--scale", "small", "--trace", "out.json"])
+
+
+def test_trace_point_bad_spec_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        main([
+            "--scale", "small", "--trace", str(tmp_path / "t.json"),
+            "--trace-point", "PiP-MColl/allreduce",
+        ])
+
+
 def test_unknown_figure_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["--figures", "fig99", "--scale", "small"])

@@ -21,6 +21,7 @@ from repro.bench.runner import (
     run_points,
 )
 from repro.bench.runner.pool import run_point_spec
+from repro.core.tuning import Thresholds
 from repro.hw.params import bebop_broadwell
 
 #: small but non-trivial: 2 libraries x 2 sizes x one 2x2 shape = 4 points
@@ -139,6 +140,53 @@ def test_cache_key_distinguishes_every_spec_field(tmp_path):
     assert len(keys) == len(variants) + 1
 
 
+def test_cache_key_separates_threshold_ablations():
+    """Two ablation variants of one library must never collide (the
+    thresholds are part of the spec), and ``thresholds=None`` (library
+    default) is distinct from an explicit default ``Thresholds()``."""
+    base = Point("PiP-MColl", "allreduce", 2, 2, 64)
+    variants = [
+        Point("PiP-MColl", "allreduce", 2, 2, 64,
+              thresholds=Thresholds.always_small()),
+        Point("PiP-MColl", "allreduce", 2, 2, 64,
+              thresholds=Thresholds.always_large()),
+        Point("PiP-MColl", "allreduce", 2, 2, 64, thresholds=Thresholds()),
+    ]
+    keys = {cache_key(p) for p in [base, *variants]}
+    assert len(keys) == len(variants) + 1
+
+
+def test_small_variant_library_never_aliases_ablated_default():
+    """PiP-MColl-small (whose *default* is always_small) and PiP-MColl
+    forced to always_small run identical algorithms, but their cached
+    results must stay separate — the library name is in the key."""
+    variant = Point("PiP-MColl-small", "allreduce", 2, 2, 64)
+    ablated = Point(
+        "PiP-MColl", "allreduce", 2, 2, 64,
+        thresholds=Thresholds.always_small(),
+    )
+    assert cache_key(variant) != cache_key(ablated)
+
+
+def test_threshold_override_matches_forced_small_library(tmp_path):
+    # the two points above must also *measure* identically: same
+    # algorithms, bit-identical simulated times
+    ablated = run_point_spec(
+        Point("PiP-MColl", "allgather", 2, 2, 128 * 1024,
+              thresholds=Thresholds.always_small())
+    )
+    forced = run_point_spec(Point("PiP-MColl-small", "allgather", 2, 2,
+                                  128 * 1024))
+    assert ablated.samples == forced.samples
+
+
+def test_threshold_override_rejected_for_fixed_libraries():
+    point = Point("PiP-MPICH", "allreduce", 2, 2, 64,
+                  thresholds=Thresholds.always_small())
+    with pytest.raises(ValueError, match="thresholds"):
+        run_point_spec(point)
+
+
 def test_default_params_key_equals_explicit_default():
     implicit = Point("PiP-MColl", "allreduce", 2, 2, 64)
     explicit = Point(
@@ -169,6 +217,30 @@ def test_point_pickle_round_trip():
         clone = pickle.loads(pickle.dumps(point))
         assert clone == point
         assert cache_key(clone) == cache_key(point)
+
+
+@pytest.mark.parametrize(
+    "thresholds",
+    [Thresholds.always_small(), Thresholds.always_large()],
+    ids=["always_small", "always_large"],
+)
+def test_threshold_classmethods_round_trip_through_point_pickle(thresholds):
+    """Both ablation classmethods survive a sweep-point pickle round trip
+    (pool workers ship ablation points across process boundaries)."""
+    point = Point("PiP-MColl", "allgather", 2, 2, 64, thresholds=thresholds)
+    clone = pickle.loads(pickle.dumps(point))
+    assert clone == point
+    assert clone.thresholds == thresholds
+    assert cache_key(clone) == cache_key(point)
+    assert clone.spec_dict() == point.spec_dict()
+
+
+def test_never_sentinel_is_named_and_unreachable():
+    thr = Thresholds.always_small()
+    assert thr.allgather_large_bytes == Thresholds.NEVER
+    assert thr.allreduce_large_bytes == Thresholds.NEVER
+    # no realistic message size reaches the sentinel
+    assert Thresholds.NEVER > 2**60
 
 
 def test_microbench_result_pickle_round_trip():

@@ -1,0 +1,52 @@
+"""Golden-trace equivalence: compiled schedules vs. the original generators.
+
+``tests/data/golden_sched.json`` was recorded from the hand-written
+generator implementations immediately before the schedule-IR migration.
+Each point pins the exact per-iteration simulated times, their mean, and
+the internode message count; the :class:`~repro.sched.executor
+.ScheduleExecutor` replay must reproduce all three **bit-for-bit** —
+pure-Python planning work costs zero simulated time, so any drift at all
+means the executor changed the yield sequence, not just some constant.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.microbench import run_point
+
+_GOLDEN = json.loads(
+    (Path(__file__).parent.parent / "data" / "golden_sched.json").read_text()
+)
+
+
+def _label(point):
+    return (
+        f"{point['library']}-{point['collective']}-"
+        f"{point['nodes']}x{point['ppn']}-{point['msg_bytes']}B"
+    )
+
+
+@pytest.mark.parametrize("point", _GOLDEN, ids=_label)
+def test_schedule_replay_is_bit_identical_to_generator(point):
+    result = run_point(
+        point["library"],
+        point["collective"],
+        point["nodes"],
+        point["ppn"],
+        point["msg_bytes"],
+    )
+    # exact float equality on purpose: no tolerance, no approx
+    assert list(result.samples) == point["samples"]
+    assert result.time == point["time"]
+    assert result.internode_messages == point["internode_messages"]
+
+
+def test_golden_file_covers_every_planned_library():
+    libraries = {p["library"] for p in _GOLDEN}
+    assert {
+        "PiP-MColl", "PiP-MColl-small", "PiP-MPICH", "OpenMPI"
+    } <= libraries
+    collectives = {p["collective"] for p in _GOLDEN}
+    assert {"scatter", "allgather", "allreduce"} <= collectives
