@@ -35,12 +35,13 @@ class MpiLibrary(abc.ABC):
         """Fresh intranode mechanism for a new :class:`World`."""
 
     def make_world(
-        self, topology, params, phantom: bool = False, tracer=None
+        self, topology, params, phantom: bool = False, tracer=None,
+        validate: bool = False,
     ) -> World:
         """Convenience: a world configured with this library's transport."""
         return World(
             topology, params, mechanism=self.make_mechanism(),
-            phantom=phantom, tracer=tracer,
+            phantom=phantom, tracer=tracer, validate=validate,
         )
 
     # -- collectives --------------------------------------------------------

@@ -17,6 +17,7 @@ from repro.mpi.datatypes import (
 from repro.mpi.request import Request
 from repro.mpi.runtime import RankCtx, RunResult, World
 from repro.mpi.transport import Message, Transport
+from repro.mpi.validation import SemanticsValidator, ValidationError
 
 __all__ = [
     "Buffer",
@@ -38,4 +39,6 @@ __all__ = [
     "World",
     "Message",
     "Transport",
+    "SemanticsValidator",
+    "ValidationError",
 ]

@@ -10,6 +10,14 @@
 
 Views (``Buffer.view``) are zero-copy element ranges of a base buffer; they
 share the base's identity for page-fault warm accounting.
+
+Copies and reductions between *overlapping* ranges of one allocation are
+memmove-safe: the operand is staged through a temporary first.  ``np.copyto``
+and in-place ufuncs only make that guarantee as a numpy implementation
+detail, and collective algorithms legally shift blocks within a single
+receive buffer, so the staging is explicit here (``Buffer.overlaps`` is the
+detector, ``Buffer.staged_op_count`` counts staged operations for tests and
+the ``repro.verify`` campaign statistics).
 """
 
 from __future__ import annotations
@@ -34,6 +42,11 @@ class Buffer:
     """A typed element range, real (numpy) or phantom (size-only)."""
 
     __slots__ = ("dtype", "count", "nbytes", "data", "base_id", "offset")
+
+    #: number of copy/reduce operations that detected operand overlap and
+    #: staged through a temporary (class-wide; cheap observability for
+    #: regression tests and verification campaigns)
+    staged_op_count: int = 0
 
     def __init__(
         self,
@@ -115,21 +128,52 @@ class Buffer:
             )
         return self.view(byte_offset // isz, nbytes // isz)
 
+    # -- overlap detection --------------------------------------------------
+
+    def overlaps(self, other: "Buffer") -> bool:
+        """True if the two buffers alias any memory.
+
+        Views of one allocation are compared by ``(base_id, offset)`` byte
+        ranges (this also covers phantom buffers, which carry no numpy
+        array); real buffers wrapped from different :meth:`real` calls may
+        still alias the same ndarray storage, so they are additionally
+        checked with ``np.shares_memory``.
+        """
+        if self.count == 0 or other.count == 0:
+            return False
+        if self.base_id == other.base_id:
+            a0 = self.offset * self.dtype.itemsize
+            b0 = other.offset * other.dtype.itemsize
+            return a0 < b0 + other.nbytes and b0 < a0 + self.nbytes
+        if self.data is not None and other.data is not None:
+            return bool(np.shares_memory(self.data, other.data))
+        return False
+
     # -- data operations (pure data; timing is charged elsewhere) -----------
 
     def copy_from(self, src: "Buffer") -> None:
-        """Copy ``src``'s elements into this buffer."""
+        """Copy ``src``'s elements into this buffer (memmove semantics:
+        overlapping source ranges are staged through a temporary)."""
         self._check_peer(src)
         if self.data is not None:
             assert src.data is not None
-            np.copyto(self.data, src.data)
+            operand = src.data
+            if self.overlaps(src):
+                operand = operand.copy()
+                Buffer.staged_op_count += 1
+            np.copyto(self.data, operand)
 
     def reduce_from(self, src: "Buffer", op: ReduceOp) -> None:
-        """``self = op(self, src)`` elementwise."""
+        """``self = op(self, src)`` elementwise, staging overlapping
+        operands so the accumulation reads ``src``'s pre-update values."""
         self._check_peer(src)
         if self.data is not None:
             assert src.data is not None
-            op.accumulate(self.data, src.data)
+            operand = src.data
+            if self.overlaps(src):
+                operand = operand.copy()
+                Buffer.staged_op_count += 1
+            op.accumulate(self.data, operand)
 
     def fill(self, value) -> None:
         """Set every element to ``value`` (no-op on phantom buffers)."""

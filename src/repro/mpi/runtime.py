@@ -25,6 +25,7 @@ from repro.mpi.buffer import Buffer
 from repro.mpi.datatypes import BYTE, DataType, ReduceOp
 from repro.mpi.request import Request
 from repro.mpi.transport import Transport
+from repro.mpi.validation import SemanticsValidator
 from repro.shmem.base import ShmemMechanism
 from repro.shmem.pip_env import PipNode
 from repro.sim.engine import Delay, Engine, ProcGen, WaitEvent
@@ -224,6 +225,7 @@ class World:
         phantom: bool = False,
         seed: int = 0,
         tracer: Optional[Tracer] = None,
+        validate: bool = False,
     ):
         self.topology = topology
         self.params = params
@@ -234,6 +236,13 @@ class World:
         self.phantom = phantom
         #: optional execution tracer (see repro.sim.trace); None = off
         self.tracer = tracer
+        #: semantics oracles (send-buffer reuse, non-overtaking, quiescence);
+        #: see repro.mpi.validation.  Off by default: the checks copy real
+        #: send payloads, so only correctness harnesses arm them.
+        self.validator: Optional[SemanticsValidator] = (
+            SemanticsValidator() if validate else None
+        )
+        self.transport.validator = self.validator
         self.pip_nodes: List[PipNode] = [
             PipNode(self.engine, params, node) for node in range(topology.nodes)
         ]
@@ -263,6 +272,8 @@ class World:
                 partial(_record_end_time, end_times, rank, engine)
             )
         engine.run()
+        if self.validator is not None:
+            self.validator.check_quiescent(self.transport)
         elapsed = max(end_times) - start
         return RunResult(start=start, end_times=tuple(end_times), elapsed=elapsed)
 

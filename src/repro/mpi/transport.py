@@ -34,6 +34,7 @@ from repro.sim.engine import Delay, Engine, Event, ProcGen
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.cluster import ClusterHW
+    from repro.mpi.validation import SemanticsValidator
 
 __all__ = ["Message", "Transport", "RTS_HEADER_BYTES"]
 
@@ -66,6 +67,8 @@ class Message:
     unexpected: bool = field(default=False)
     #: mechanism handling this message (intranode only)
     mechanism: Optional[ShmemMechanism] = None
+    #: per-(src, dst, tag) send sequence number (0 = validation off)
+    vseq: int = 0
 
 
 class Transport:
@@ -91,6 +94,8 @@ class Transport:
         ]
         #: count of messages that queued as unexpected (diagnostics)
         self.unexpected_count = 0
+        #: semantics oracles, armed by ``World(validate=True)``
+        self.validator: Optional["SemanticsValidator"] = None
 
     # ------------------------------------------------------------------
     # send side
@@ -136,6 +141,8 @@ class Transport:
                 src_buffer_id=buf.base_id, intranode=False,
                 src_local=src_local,
             )
+            if self.validator is not None:
+                self.validator.note_send(req, msg, buf)
             self.engine.call_at(arrival, lambda: self._deliver(msg))
             self.engine.call_at(
                 inject_done, lambda: self._complete_send(req)
@@ -151,6 +158,8 @@ class Transport:
                 src_local=src_local,
                 sender_done=Event(self.engine, "rndv-done"),
             )
+            if self.validator is not None:
+                self.validator.note_send(req, msg, buf)
             msg.sender_done.on_trigger(lambda _v: self._complete_send(req))
             self.engine.call_at(rts_arrival, lambda: self._deliver(msg))
         return req
@@ -184,6 +193,8 @@ class Transport:
             sender_done=None if eager else Event(self.engine, "shm-done"),
             mechanism=mechanism,
         )
+        if self.validator is not None:
+            self.validator.note_send(req, msg, buf)
         if eager:
             self._deliver(msg)
             self._complete_send(req)
@@ -192,8 +203,9 @@ class Transport:
             self._deliver(msg)
         return req
 
-    @staticmethod
-    def _complete_send(req: Request) -> None:
+    def _complete_send(self, req: Request) -> None:
+        if self.validator is not None:
+            self.validator.on_send_complete(req)
         req.completed = True
         req.match_event.trigger(None)
 
@@ -211,7 +223,7 @@ class Transport:
             msg = arrived.popleft()
             if not arrived:
                 del self._arrived[dst][key]
-            req.match_event.trigger(msg)
+            self._match(req, msg)
         else:
             self._posted[dst].setdefault(key, deque()).append(req)
         return req
@@ -225,11 +237,44 @@ class Transport:
             req = posted.popleft()
             if not posted:
                 del self._posted[msg.dst][key]
-            req.match_event.trigger(msg)
+            self._match(req, msg)
         else:
             msg.unexpected = True
             self.unexpected_count += 1
             self._arrived[msg.dst].setdefault(key, deque()).append(msg)
+
+    def _match(self, req: Request, msg: Message) -> None:
+        """Pair a posted receive with a message.
+
+        Envelope validation happens *here*, at match time: a dtype or size
+        disagreement used to surface only when :meth:`_move_data` touched
+        the payload — a :class:`~repro.mpi.buffer.BufferError` deep inside a
+        delivery callback, with no endpoint context.  Failing at match names
+        the channel while both sides are still identifiable.
+        """
+        buf = req.buf
+        payload = msg.payload
+        if buf is not None and payload is not None:
+            if buf.nbytes != msg.nbytes:
+                raise BufferError(
+                    f"recv posted {buf.nbytes}B for a {msg.nbytes}B message "
+                    f"({msg.src}->{msg.dst} tag={msg.tag!r})"
+                )
+            if buf.dtype.np_dtype != payload.dtype.np_dtype:
+                raise BufferError(
+                    f"recv posted dtype {buf.dtype} for a {payload.dtype} "
+                    f"message ({msg.src}->{msg.dst} tag={msg.tag!r})"
+                )
+            if buf.is_real != payload.is_real:
+                raise BufferError(
+                    f"recv posted a {'real' if buf.is_real else 'phantom'} "
+                    f"buffer for a "
+                    f"{'real' if payload.is_real else 'phantom'} payload "
+                    f"({msg.src}->{msg.dst} tag={msg.tag!r})"
+                )
+        if self.validator is not None:
+            self.validator.on_match(msg)
+        req.match_event.trigger(msg)
 
     def recv_work(self, req: Request, msg: Message) -> ProcGen:
         """Receiver-side completion, run inside the receiving process."""
@@ -259,6 +304,9 @@ class Transport:
         )
         fixed = mech.match_fixed(mem, info)
         yield from mem.copy(mech.receiver_copy_bytes(msg.nbytes), extra_fixed=fixed)
+        if msg.sender_done is not None and self.validator is not None:
+            # single-copy mechanisms read the sender's live buffer here
+            self.validator.on_capture(msg)
         self._move_data(req, msg)
         if msg.sender_done is not None:
             msg.sender_done.trigger(None)
@@ -276,6 +324,8 @@ class Transport:
         # Capture payload now: the sender's request completes at injection
         # drain, after which it may legally reuse the buffer, but this
         # receive only materialises the data at arrival time.
+        if self.validator is not None:
+            self.validator.on_capture(msg)
         if msg.payload is not None:
             msg.payload = msg.payload.snapshot()
         assert msg.sender_done is not None

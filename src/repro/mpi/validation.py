@@ -1,0 +1,164 @@
+"""Runtime semantics oracles, armed by ``World(validate=True)``.
+
+The simulator normally trusts its programs to obey MPI semantics.  In
+*validate* mode a :class:`SemanticsValidator` rides along inside
+:class:`~repro.mpi.transport.Transport` and checks, with real data, the
+rules whose violations would otherwise corrupt payloads silently:
+
+* **Send-buffer reuse before completion.**  MPI forbids touching a send
+  buffer between ``isend`` and request completion.  The validator snapshots
+  the buffer's content at send time and compares it
+
+  - when the send request completes (eager: injection-pipeline drain;
+    rendezvous/intranode single-copy: data pulled), and
+  - at the moment a live-referenced payload is *captured* (the rendezvous
+    CTS path and intranode single-copy mechanisms read the sender's buffer
+    long after ``isend`` returned — exactly where an early reuse lands in
+    the receiver's memory).
+
+* **Non-overtaking order.**  Messages on one ``(src, dst, tag)`` triple
+  must match posted receives in send order.  Every validated send draws a
+  sequence number; every match checks it is the eldest outstanding one.
+
+* **Quiescence.**  After a program finishes, no sent message may remain
+  undelivered/unreceived and no posted receive unmatched (a legal MPI
+  program completes every request it starts).
+
+All checks raise :class:`ValidationError` naming the endpoint triple, so a
+failed ``repro.verify`` campaign point pinpoints the broken path instead of
+reporting a downstream payload diff.
+
+Overheads are real but bounded (one ``ndarray.copy`` per validated send),
+which is why the mode is opt-in and the benchmark sweeps never enable it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.buffer import Buffer
+    from repro.mpi.request import Request
+    from repro.mpi.transport import Message, Transport
+
+__all__ = ["ValidationError", "SemanticsValidator"]
+
+#: key of one ordered p2p channel
+_ChannelKey = Tuple[int, int, Hashable]
+
+
+class ValidationError(RuntimeError):
+    """A program violated MPI semantics the validator checks."""
+
+
+class SemanticsValidator:
+    """Content sentinels and ordering oracles for one :class:`World`."""
+
+    def __init__(self) -> None:
+        # id(req) -> (send-time content copy | None, Message)
+        self._pending: Dict[int, Tuple[Optional[np.ndarray], "Message"]] = {}
+        # id(msg) -> send-time content copy, for capture-time checks
+        self._msg_snap: Dict[int, Optional[np.ndarray]] = {}
+        self._send_seq: Dict[_ChannelKey, int] = {}
+        self._match_seq: Dict[_ChannelKey, int] = {}
+        #: totals for campaign statistics
+        self.sends_validated = 0
+        self.captures_checked = 0
+        self.matches_checked = 0
+
+    # -- send side ---------------------------------------------------------
+
+    def note_send(self, req: "Request", msg: "Message", buf: "Buffer") -> None:
+        """Record send-time content and draw the channel sequence number."""
+        key = (msg.src, msg.dst, msg.tag)
+        seq = self._send_seq.get(key, 0) + 1
+        self._send_seq[key] = seq
+        msg.vseq = seq
+        snap = buf.data.copy() if buf.data is not None else None
+        self._pending[id(req)] = (snap, msg)
+        self._msg_snap[id(msg)] = snap
+        self.sends_validated += 1
+
+    def on_send_complete(self, req: "Request") -> None:
+        """The sender's request completed: its buffer must be untouched."""
+        entry = self._pending.pop(id(req), None)
+        if entry is None:
+            return
+        snap, msg = entry
+        self._msg_snap.pop(id(msg), None)
+        if (
+            snap is not None
+            and req.buf is not None
+            and req.buf.data is not None
+            and not np.array_equal(req.buf.data, snap)
+        ):
+            raise ValidationError(
+                f"rank {msg.src} reused its send buffer before the send "
+                f"completed ({msg.src}->{msg.dst} tag={msg.tag!r}, "
+                f"{msg.nbytes}B)"
+            )
+
+    def on_capture(self, msg: "Message") -> None:
+        """A live payload reference is about to be read (rendezvous CTS
+        snapshot or intranode single-copy): content must equal send time."""
+        self.captures_checked += 1
+        snap = self._msg_snap.get(id(msg))
+        if (
+            snap is not None
+            and msg.payload is not None
+            and msg.payload.data is not None
+            and not np.array_equal(msg.payload.data, snap)
+        ):
+            raise ValidationError(
+                f"rank {msg.src} modified its send buffer while the "
+                f"payload was still in flight ({msg.src}->{msg.dst} "
+                f"tag={msg.tag!r}, {msg.nbytes}B captured at the receiver)"
+            )
+
+    # -- receive side ------------------------------------------------------
+
+    def on_match(self, msg: "Message") -> None:
+        """A message matched a posted receive: enforce FIFO per channel."""
+        if msg.vseq == 0:
+            return  # sent while validation was off
+        self.matches_checked += 1
+        key = (msg.src, msg.dst, msg.tag)
+        expected = self._match_seq.get(key, 0) + 1
+        if msg.vseq != expected:
+            raise ValidationError(
+                f"non-overtaking violation on {msg.src}->{msg.dst} "
+                f"tag={msg.tag!r}: matched send #{msg.vseq} but "
+                f"#{expected} is still outstanding"
+            )
+        self._match_seq[key] = expected
+
+    # -- end of program ----------------------------------------------------
+
+    def check_quiescent(self, transport: "Transport") -> None:
+        """No in-flight state may survive a completed program."""
+        leftovers = [
+            (dst, key, len(fifo))
+            for dst, table in enumerate(transport._arrived)
+            for key, fifo in table.items()
+        ]
+        if leftovers:
+            dst, (src, tag), n = leftovers[0]
+            raise ValidationError(
+                f"{len(leftovers)} channel(s) hold unreceived messages after "
+                f"the program finished (first: {n} message(s) "
+                f"{src}->{dst} tag={tag!r})"
+            )
+        unposted = [
+            (dst, key, len(fifo))
+            for dst, table in enumerate(transport._posted)
+            for key, fifo in table.items()
+        ]
+        if unposted:
+            dst, (src, tag), n = unposted[0]
+            raise ValidationError(
+                f"{len(unposted)} channel(s) hold receives that never "
+                f"matched (first: {n} posted on rank {dst} for "
+                f"{src}->{dst} tag={tag!r})"
+            )

@@ -1,0 +1,21 @@
+"""Differential data-correctness engine for the collective stack.
+
+``python -m repro.verify --seed S --points N`` sweeps N randomized points
+over every registered collective surface with real buffers, validates the
+final payloads against pure-numpy oracles, and arms the runtime semantics
+oracles (``validate=True``).  A failing point prints a one-line repro
+command (``--seed S --point K``) that replays it exactly.
+"""
+
+from repro.verify.cases import ENTRIES, Case, Entry, build_case
+from repro.verify.engine import PointResult, repro_command, run_point
+
+__all__ = [
+    "Case",
+    "Entry",
+    "ENTRIES",
+    "build_case",
+    "PointResult",
+    "repro_command",
+    "run_point",
+]

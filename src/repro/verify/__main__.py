@@ -1,0 +1,120 @@
+"""CLI for the differential verification campaign.
+
+Examples::
+
+    PYTHONPATH=src python -m repro.verify --seed 0 --points 200
+    PYTHONPATH=src python -m repro.verify --seed 0 --point 37   # repro one
+    PYTHONPATH=src python -m repro.verify --list                # case space
+
+Exit status is non-zero if any point fails, so the command doubles as a CI
+gate (see the verify-campaign job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections import defaultdict
+from typing import Dict, List, Set
+
+from repro.verify.cases import ENTRIES, build_case
+from repro.verify.engine import PointResult, repro_command, run_point
+
+
+def _print_coverage(results: List[PointResult]) -> None:
+    mechs: Dict[str, Set[str]] = defaultdict(set)
+    dtypes: Dict[str, Set[str]] = defaultdict(set)
+    kinds: Dict[str, Set[str]] = defaultdict(set)
+    for r in results:
+        coll = r.case.entry.collective
+        mechs[coll].add(r.mechanism)
+        dtypes[coll].add(r.case.dtype_name)
+        kinds[coll].add(r.case.entry.kind)
+    print("coverage (collective: surfaces / mechanisms / dtypes):")
+    for coll in sorted(mechs):
+        print(
+            f"  {coll:15s} {len(kinds[coll])} surface kinds / "
+            f"{len(mechs[coll])} mechanisms / {len(dtypes[coll])} dtypes"
+        )
+    thin = [
+        coll
+        for coll in mechs
+        if len(mechs[coll]) < 2 or len(dtypes[coll]) < 2
+    ]
+    if thin:
+        print(
+            "note: thin coverage (fewer than 2 mechanisms or dtypes) for: "
+            + ", ".join(sorted(thin))
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description=(
+            "Differential data-correctness campaign over every registered "
+            "collective"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+    parser.add_argument(
+        "--points", type=int, default=200,
+        help="number of campaign points to run (default 200)",
+    )
+    parser.add_argument(
+        "--point", type=int, default=None,
+        help="run exactly one point (repro mode)",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="print the case-space registry and exit",
+    )
+    parser.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="print every point, not just failures",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for i, e in enumerate(ENTRIES):
+            print(f"[{i:3d}] {e.kind:8s} {e.collective:15s} {e.algo}")
+        print(f"{len(ENTRIES)} entries")
+        return 0
+
+    indices = (
+        [args.point] if args.point is not None else list(range(args.points))
+    )
+
+    t0 = time.perf_counter()
+    results: List[PointResult] = []
+    failures: List[PointResult] = []
+    for index in indices:
+        if args.verbose:
+            case = build_case(args.seed, index)
+            print(f"     [{index:4d}] {case.describe()}", flush=True)
+        result = run_point(args.seed, index)
+        results.append(result)
+        if not result.ok:
+            failures.append(result)
+            print(result.summary())
+            for f in result.failures[:8]:
+                print(f"       {f}")
+            if len(result.failures) > 8:
+                print(f"       ... {len(result.failures) - 8} more")
+            print(f"       repro: {repro_command(args.seed, result.index)}")
+        elif args.verbose or args.point is not None:
+            print(result.summary())
+    wall = time.perf_counter() - t0
+
+    print(
+        f"summary: {len(results)} points, {len(failures)} failed "
+        f"({wall:.1f}s wall)"
+    )
+    if args.point is None:
+        _print_coverage(results)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

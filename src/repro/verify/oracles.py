@@ -1,0 +1,164 @@
+"""Pure-numpy ground truth for every collective's final payloads.
+
+Each oracle takes the per-rank *input* arrays (ordered by group index) and
+returns the per-rank *expected output* arrays, computed without any of the
+simulator's machinery — no buffers, no transport, no schedules.  The
+differential engine compares a collective's real-buffer results against
+these, exactly as MPICH's self-verifying collective tests and OSU-style
+validation runs check payloads against host arithmetic.
+
+Reductions accumulate in the *operand dtype* (``ufunc.reduce(...,
+dtype=...)``): sequential in-place accumulation in uint8 wraps mod 256, and
+the oracle must wrap identically rather than letting numpy upcast to a wide
+accumulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.mpi.datatypes import ReduceOp
+
+__all__ = [
+    "allgather",
+    "allgatherv",
+    "allreduce",
+    "alltoall",
+    "bcast",
+    "gather",
+    "gatherv",
+    "reduce",
+    "reduce_scatter",
+    "scatter",
+    "scatterv",
+    "payloads_match",
+]
+
+
+def _reduce_stack(inputs: Sequence[np.ndarray], op: ReduceOp) -> np.ndarray:
+    """Elementwise reduction across ranks, accumulating in-dtype."""
+    stack = np.stack([np.asarray(a) for a in inputs])
+    return op.ufunc.reduce(stack, axis=0, dtype=stack.dtype)
+
+
+def allgather(inputs: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Every rank ends with the concatenation of all inputs."""
+    full = np.concatenate(list(inputs))
+    return [full] * len(inputs)
+
+
+def allreduce(inputs: Sequence[np.ndarray], op: ReduceOp) -> List[np.ndarray]:
+    """Every rank ends with the elementwise reduction of all inputs."""
+    result = _reduce_stack(inputs, op)
+    return [result] * len(inputs)
+
+
+def reduce(
+    inputs: Sequence[np.ndarray], op: ReduceOp, root: int
+) -> List[np.ndarray]:
+    """Only the root's output is defined (``None`` elsewhere)."""
+    result = _reduce_stack(inputs, op)
+    return [result if i == root else None for i in range(len(inputs))]
+
+
+def reduce_scatter(
+    inputs: Sequence[np.ndarray], op: ReduceOp, count: int
+) -> List[np.ndarray]:
+    """Rank ``i`` ends with block ``i`` of the full reduction."""
+    total = _reduce_stack(inputs, op)
+    return [
+        total[i * count : (i + 1) * count] for i in range(len(inputs))
+    ]
+
+
+def scatter(root_input: np.ndarray, size: int, count: int) -> List[np.ndarray]:
+    """Rank ``i`` receives the ``i``-th ``count``-element block."""
+    return [root_input[i * count : (i + 1) * count] for i in range(size)]
+
+
+def gather(inputs: Sequence[np.ndarray], root: int) -> List[np.ndarray]:
+    """The root ends with the concatenation, ordered by group index."""
+    full = np.concatenate(list(inputs))
+    return [full if i == root else None for i in range(len(inputs))]
+
+
+def bcast(root_input: np.ndarray, size: int) -> List[np.ndarray]:
+    """Every rank ends with the root's data."""
+    return [np.asarray(root_input)] * size
+
+
+def alltoall(inputs: Sequence[np.ndarray], count: int) -> List[np.ndarray]:
+    """Block transpose: rank ``i``'s slot ``j`` gets rank ``j``'s block
+    ``i``."""
+    size = len(inputs)
+    return [
+        np.concatenate(
+            [inputs[j][i * count : (i + 1) * count] for j in range(size)]
+        )
+        for i in range(size)
+    ]
+
+
+# -- vector (v-) collectives ------------------------------------------------
+
+
+def scatterv(
+    root_input: np.ndarray,
+    counts: Sequence[int],
+    displs: Sequence[int],
+) -> List[np.ndarray]:
+    return [
+        root_input[d : d + c] for c, d in zip(counts, displs)
+    ]
+
+
+def gatherv(
+    inputs: Sequence[np.ndarray],
+    counts: Sequence[int],
+    displs: Sequence[int],
+    root: int,
+    total: int,
+) -> List[np.ndarray]:
+    """Root's buffer with every rank's block placed at its displacement.
+
+    Gaps keep the receive buffer's initial contents, which the engine
+    allocates zeroed — so the oracle starts from zeros too.
+    """
+    out = np.zeros(total, dtype=np.asarray(inputs[0]).dtype)
+    for src, (c, d) in enumerate(zip(counts, displs)):
+        out[d : d + c] = inputs[src]
+    return [out if i == root else None for i in range(len(inputs))]
+
+
+def allgatherv(
+    inputs: Sequence[np.ndarray],
+    counts: Sequence[int],
+    displs: Sequence[int],
+    total: int,
+) -> List[np.ndarray]:
+    out = np.zeros(total, dtype=np.asarray(inputs[0]).dtype)
+    for src, (c, d) in enumerate(zip(counts, displs)):
+        out[d : d + c] = inputs[src]
+    return [out] * len(inputs)
+
+
+# -- comparison -------------------------------------------------------------
+
+#: relative tolerances for floating-point reassociation (real MPI libraries
+#: reassociate reductions the same way; exact match holds for everything
+#: non-float and for MAX/MIN)
+_FLOAT_RTOL = {np.dtype(np.float32): 1e-4, np.dtype(np.float64): 1e-9}
+
+
+def payloads_match(actual: np.ndarray, expected: np.ndarray) -> bool:
+    """Exact for integers; tolerance-based for float dtypes."""
+    actual = np.asarray(actual)
+    expected = np.asarray(expected)
+    if actual.shape != expected.shape or actual.dtype != expected.dtype:
+        return False
+    rtol = _FLOAT_RTOL.get(actual.dtype)
+    if rtol is None:
+        return bool(np.array_equal(actual, expected))
+    return bool(np.allclose(actual, expected, rtol=rtol, atol=0.0))

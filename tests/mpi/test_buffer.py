@@ -124,6 +124,71 @@ class TestDataOps:
         assert list(buf.array()) == [2.5] * 3
 
 
+class TestOverlappingViews:
+    """Regression: overlapping-view copies must have memmove semantics.
+
+    Before ``Buffer.overlaps`` landed, overlapping ``copy_from`` /
+    ``reduce_from`` handed aliasing arrays straight to numpy, leaving
+    correctness to numpy's internal overlap handling (these tests fail on
+    the old code with ``AttributeError: overlaps``, and would corrupt data
+    on any numpy without copy-on-overlap).
+    """
+
+    def test_overlaps_detects_same_base_ranges(self):
+        base = Buffer.alloc(BYTE, 100)
+        assert base.view(0, 10).overlaps(base.view(5, 10))
+        assert base.view(5, 10).overlaps(base.view(0, 10))
+        assert base.view(0, 10).overlaps(base.view(9, 1))
+        assert not base.view(0, 10).overlaps(base.view(10, 10))
+        assert not base.view(0, 10).overlaps(Buffer.alloc(BYTE, 10))
+
+    def test_zero_count_never_overlaps(self):
+        base = Buffer.alloc(BYTE, 10)
+        assert not base.view(0, 0).overlaps(base.view(0, 10))
+        assert not base.view(0, 10).overlaps(base.view(3, 0))
+
+    def test_overlaps_detects_foreign_aliasing_arrays(self):
+        arr = np.zeros(20, dtype=np.uint8)
+        a = Buffer.real(arr[:10])
+        b = Buffer.real(arr[5:15])
+        assert a.overlaps(b)
+
+    def test_forward_overlapping_copy_is_memmove(self):
+        base = Buffer.real(np.arange(10, dtype=np.uint8))
+        before = Buffer.staged_op_count
+        base.view(2, 8).copy_from(base.view(0, 8))
+        assert list(base.array()) == [0, 1, 0, 1, 2, 3, 4, 5, 6, 7]
+        assert Buffer.staged_op_count == before + 1
+
+    def test_backward_overlapping_copy_is_memmove(self):
+        base = Buffer.real(np.arange(10, dtype=np.uint8))
+        base.view(0, 8).copy_from(base.view(2, 8))
+        assert list(base.array()) == [2, 3, 4, 5, 6, 7, 8, 9, 8, 9]
+
+    def test_overlapping_reduce_uses_pre_op_operand(self):
+        base = Buffer.real(np.arange(8, dtype=np.int32))
+        before = Buffer.staged_op_count
+        # dst and src share elements 2..5; src values must be the
+        # pre-reduction ones for every element
+        base.view(2, 4).reduce_from(base.view(0, 4), SUM)
+        assert list(base.array()) == [0, 1, 2, 4, 6, 8, 6, 7]
+        assert Buffer.staged_op_count == before + 1
+
+    def test_disjoint_copy_does_not_stage(self):
+        base = Buffer.alloc(BYTE, 20)
+        before = Buffer.staged_op_count
+        base.view(0, 10).copy_from(base.view(10, 10))
+        assert Buffer.staged_op_count == before
+
+    def test_phantom_overlap_detected_but_copy_stays_noop(self):
+        buf = Buffer.phantom(64)
+        a, b = buf.view_bytes(0, 32), buf.view_bytes(16, 32)
+        assert a.overlaps(b)  # ranges alias even without backing data
+        before = Buffer.staged_op_count
+        a.copy_from(b)  # phantom: no data, nothing staged
+        assert Buffer.staged_op_count == before
+
+
 @given(
     count=st.integers(1, 64),
     offset_frac=st.floats(0, 1),

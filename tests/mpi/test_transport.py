@@ -4,15 +4,16 @@ import numpy as np
 import pytest
 
 from repro.hw import Topology, tiny_test_machine
-from repro.mpi import BYTE, Buffer, World
+from repro.mpi import BYTE, DOUBLE, INT64, Buffer, ValidationError, World
 from repro.shmem import KernelCopy, PipShmem, PosixShmem, Xpmem
 
 
-def make_world(nodes=2, ppn=2, mechanism=None, **overrides):
+def make_world(nodes=2, ppn=2, mechanism=None, validate=False, **overrides):
     params = tiny_test_machine()
     if overrides:
         params = params.with_overrides(**overrides)
-    return World(Topology(nodes, ppn), params, mechanism=mechanism or PosixShmem())
+    return World(Topology(nodes, ppn), params,
+                 mechanism=mechanism or PosixShmem(), validate=validate)
 
 
 def exchange(world, src, dst, nbytes, fill=7):
@@ -292,6 +293,243 @@ class TestIntranodeMechanisms:
 
         world.run(body)
         assert times[1] < times[0]
+
+
+class TestMatchTimeValidation:
+    """Regression: envelope mismatches are rejected when the message
+    matches a posted receive, with an error naming both endpoints —
+    not later, deep in the data-movement path with no context."""
+
+    def test_dtype_mismatch_same_nbytes_names_endpoints(self):
+        # 2x int64 and 2x double are both 16B: the old nbytes-only check
+        # let this through to a bare "dtype mismatch: int64 -> double"
+        # deep inside Buffer.copy_from
+        world = make_world()
+        sendbuf = Buffer.real(np.arange(2, dtype=np.int64), INT64)
+        recvbuf = Buffer.alloc(DOUBLE, 2)
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(2, sendbuf, tag=9)
+            elif ctx.rank == 2:
+                yield from ctx.recv(0, recvbuf, tag=9)
+
+        with pytest.raises(Exception, match=r"0->2.*tag=9") as ei:
+            world.run(body)
+        msg = str(ei.value)
+        assert "int64" in msg and "double" in msg
+
+    def test_size_mismatch_names_endpoints(self):
+        world = make_world()
+        sendbuf = Buffer.alloc(BYTE, 8)
+        recvbuf = Buffer.alloc(BYTE, 16)
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(2, sendbuf, tag=7)
+            elif ctx.rank == 2:
+                yield from ctx.recv(0, recvbuf, tag=7)
+
+        with pytest.raises(Exception, match=r"0->2.*tag=7"):
+            world.run(body)
+
+    def test_real_phantom_mix_detected_at_match(self):
+        world = make_world()
+        sendbuf = Buffer.real(np.zeros(8, dtype=np.uint8))
+        recvbuf = Buffer.phantom(8)
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(2, sendbuf, tag=0)
+            elif ctx.rank == 2:
+                yield from ctx.recv(0, recvbuf, tag=0)
+
+        with pytest.raises(Exception, match=r"real.*phantom|phantom.*real"):
+            world.run(body)
+
+
+class TestZeroByteMessages:
+    """Zero-count messages must deliver (empty payload, completed
+    requests) and still charge the latency path, like a real NIC."""
+
+    def test_internode_eager_zero_bytes_full_latency(self):
+        world = make_world()
+        p = world.params
+        data, elapsed = exchange(world, 0, 2, 0)
+        assert data.size == 0
+        expected = (
+            p.send_overhead
+            + 1.0 / p.proc_msg_rate
+            + p.wire_latency
+            + p.recv_overhead
+        )
+        assert elapsed == pytest.approx(expected, rel=1e-9)
+
+    def test_zero_bytes_stays_eager_in_rendezvous_regime(self):
+        # 0B is never above the threshold, so no RTS/CTS round trip
+        world = make_world(eager_threshold=0)
+        p = world.params
+        data, elapsed = exchange(world, 0, 2, 0)
+        assert data.size == 0
+        eager_latency = (
+            p.send_overhead
+            + 1.0 / p.proc_msg_rate
+            + p.wire_latency
+            + p.recv_overhead
+        )
+        # exactly one trip: a rendezvous would add an RTS/CTS round trip
+        assert elapsed == pytest.approx(eager_latency, rel=1e-9)
+
+    @pytest.mark.parametrize(
+        "mech_factory", [PosixShmem, KernelCopy, Xpmem, PipShmem]
+    )
+    def test_intranode_zero_bytes(self, mech_factory):
+        world = make_world(mechanism=mech_factory(), validate=True)
+        data, elapsed = exchange(world, 0, 1, 0)
+        assert data.size == 0
+        assert elapsed > 0  # per-message costs are still charged
+
+    def test_zero_byte_non_overtaking_with_data_siblings(self):
+        """A 0B message between two data messages keeps FIFO order."""
+        world = make_world(validate=True)
+        sizes = [8, 0, 8]
+        sends = [Buffer.real(np.full(n, i, dtype=np.uint8))
+                 for i, n in enumerate(sizes)]
+        recvs = [Buffer.alloc(BYTE, n) for n in sizes]
+
+        def body(ctx):
+            if ctx.rank == 0:
+                for b in sends:
+                    yield from ctx.send(2, b, tag=3)
+            elif ctx.rank == 2:
+                for r in recvs:
+                    yield from ctx.recv(0, r, tag=3)
+
+        world.run(body)
+        assert np.all(recvs[0].array() == 0)
+        assert recvs[1].array().size == 0
+        assert np.all(recvs[2].array() == 2)
+
+
+class TestUnexpectedBounce:
+    def test_bounce_preserves_payload_against_sender_reuse(self):
+        """An unexpected eager message must hold its bounce-buffer copy
+        even if the sender rewrites its buffer before the recv posts."""
+        world = make_world()
+        sendbuf = Buffer.real(np.full(64, 5, dtype=np.uint8))
+        recvbuf = Buffer.alloc(BYTE, 64)
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(2, sendbuf, tag=0)
+                sendbuf.fill(99)  # after local completion: legal reuse
+            elif ctx.rank == 2:
+                yield from ctx.compute(1e-2)  # message waits unexpected
+                yield from ctx.recv(0, recvbuf, tag=0)
+
+        world.run(body)
+        assert np.all(recvbuf.array() == 5)
+
+    def test_unexpected_queue_drains_fifo(self):
+        world = make_world(validate=True)
+        sends = [Buffer.real(np.full(16, i, dtype=np.uint8))
+                 for i in range(3)]
+        recvs = [Buffer.alloc(BYTE, 16) for _ in range(3)]
+
+        def body(ctx):
+            if ctx.rank == 0:
+                for b in sends:
+                    yield from ctx.send(2, b, tag=4)
+            elif ctx.rank == 2:
+                yield from ctx.compute(1e-2)  # all three arrive unexpected
+                for r in recvs:
+                    yield from ctx.recv(0, r, tag=4)
+
+        world.run(body)
+        for i, r in enumerate(recvs):
+            assert np.all(r.array() == i)
+
+
+class TestRendezvousCapture:
+    def test_payload_captured_before_sender_reuses(self):
+        """Rendezvous payload is captured at match time, so a sender
+        rewriting its buffer after `send` returns cannot corrupt the
+        still-streaming transfer."""
+        world = make_world()
+        nbytes = world.params.eager_threshold * 2
+        sendbuf = Buffer.real(np.full(nbytes, 1, dtype=np.uint8))
+        recvbuf = Buffer.alloc(BYTE, nbytes)
+
+        def body(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(2, sendbuf, tag=0)
+                sendbuf.fill(99)  # send completed locally: legal reuse
+            elif ctx.rank == 2:
+                yield from ctx.compute(1e-3)
+                yield from ctx.recv(0, recvbuf, tag=0)
+
+        world.run(body)
+        assert np.all(recvbuf.array() == 1)
+
+
+class TestValidationMode:
+    """The validate=True semantics oracles (repro.mpi.validation)."""
+
+    def test_eager_reuse_before_completion_detected(self):
+        world = make_world(validate=True)
+        sendbuf = Buffer.real(np.full(64, 1, dtype=np.uint8))
+        recvbuf = Buffer.alloc(BYTE, 64)
+
+        def body(ctx):
+            if ctx.rank == 0:
+                req = yield from ctx.isend(2, sendbuf, tag=0)
+                sendbuf.fill(99)  # BEFORE waiting: illegal reuse
+                yield from ctx.wait(req)
+            elif ctx.rank == 2:
+                yield from ctx.recv(0, recvbuf, tag=0)
+
+        with pytest.raises(ValidationError, match="reused its send buffer"):
+            world.run(body)
+
+    def test_rendezvous_reuse_before_completion_detected(self):
+        world = make_world(validate=True)
+        nbytes = world.params.eager_threshold * 2
+        sendbuf = Buffer.real(np.full(nbytes, 1, dtype=np.uint8))
+        recvbuf = Buffer.alloc(BYTE, nbytes)
+
+        def body(ctx):
+            if ctx.rank == 0:
+                req = yield from ctx.isend(2, sendbuf, tag=0)
+                sendbuf.fill(99)
+                yield from ctx.wait(req)
+            elif ctx.rank == 2:
+                yield from ctx.compute(1e-3)
+                yield from ctx.recv(0, recvbuf, tag=0)
+
+        with pytest.raises(ValidationError):
+            world.run(body)
+
+    def test_clean_program_passes_and_counts(self):
+        world = make_world(validate=True)
+        data, _ = exchange(world, 0, 2, 256)
+        assert np.all(data == 7)
+        v = world.validator
+        assert v is not None
+        assert v.sends_validated >= 1
+        assert v.matches_checked >= 1
+
+    def test_quiescence_catches_unmatched_recv(self):
+        world = make_world(validate=True)
+        recvbuf = Buffer.alloc(BYTE, 8)
+
+        def body(ctx):
+            if ctx.rank == 2:
+                ctx.irecv(0, recvbuf, tag=0)  # never matched
+            return
+            yield  # pragma: no cover
+
+        with pytest.raises(ValidationError, match="quiesc|unmatched|posted"):
+            world.run(body)
 
 
 class TestPhantomMode:
