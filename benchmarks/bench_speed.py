@@ -1,0 +1,178 @@
+"""Engine speed benchmark: event loop vs DAG fast path, same points.
+
+Times ``repro.bench.microbench.run_point`` wall-clock for both engines on
+a fixed planner-backed grid, asserts the results are bit-identical, and
+records per-point and aggregate speedups in ``BENCH_fastpath.json`` at the
+repository root — the provenance for the numbers quoted in DESIGN.md.
+
+Every rep is a complete fresh ``run_point`` call (world construction
+included); ``best-of-N`` wall times are reported because the shared CI
+boxes are noisy.  Planner ``lru_cache``s are warm after the first rep on
+both sides — the same steady state a figure sweep runs in.
+
+Usage::
+
+    python benchmarks/bench_speed.py                 # full grid -> JSON
+    python benchmarks/bench_speed.py --smoke         # CI gate: tiny grid,
+                                                     # exit 1 unless the DAG
+                                                     # engine is faster
+
+(The file matches the ``bench_*.py`` pytest glob but defines no tests; it
+is a command-line tool.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.microbench import run_point
+
+#: (library, collective, nodes, ppn, msg_bytes) — a representative slice of
+#: the planner-backed surface: every registry library, all three
+#: collectives, small/medium/large sizes, two node shapes.
+GRID = (
+    ("PiP-MColl", "scatter", 4, 8, 16384),
+    ("PiP-MColl", "allgather", 4, 8, 512),
+    ("PiP-MColl", "allgather", 4, 8, 65536),
+    ("PiP-MColl", "allreduce", 4, 8, 512),
+    ("PiP-MColl", "allreduce", 4, 8, 65536),
+    ("PiP-MColl", "allreduce", 4, 8, 262144),
+    ("PiP-MColl-small", "allreduce", 4, 8, 32768),
+    ("PiP-MColl-small", "allgather", 2, 16, 8192),
+    ("PiP-MPICH", "allgather", 4, 8, 512),
+    ("PiP-MPICH", "allgather", 4, 8, 131072),
+    ("OpenMPI", "allgather", 4, 8, 65536),
+    ("OpenMPI", "allgather", 2, 16, 4096),
+)
+
+SMOKE_GRID = (
+    ("PiP-MColl", "allreduce", 2, 4, 512),
+    ("PiP-MColl", "allgather", 2, 4, 32768),
+    ("PiP-MPICH", "allgather", 2, 4, 4096),
+)
+
+
+def _time_point(spec, engine: str, reps: int) -> tuple[float, object]:
+    """Best-of-``reps`` wall seconds for one fresh-world evaluation."""
+    lib, coll, nodes, ppn, nbytes = spec
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = run_point(lib, coll, nodes, ppn, nbytes, engine=engine)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_grid(grid, reps: int):
+    """Measure every point on both engines; returns (rows, mismatches)."""
+    rows = []
+    mismatches = []
+    for spec in grid:
+        event_s, event_res = _time_point(spec, "event", reps)
+        dag_s, dag_res = _time_point(spec, "dag", reps)
+        if event_res != dag_res:
+            mismatches.append(spec)
+        lib, coll, nodes, ppn, nbytes = spec
+        rows.append({
+            "library": lib,
+            "collective": coll,
+            "nodes": nodes,
+            "ppn": ppn,
+            "msg_bytes": nbytes,
+            "event_s": event_s,
+            "dag_s": dag_s,
+            "speedup": event_s / dag_s,
+        })
+        print(
+            f"  {lib:>15} {coll:<9} {nodes}x{ppn:<2} {nbytes:>6}B  "
+            f"event {event_s * 1e3:8.2f}ms  dag {dag_s * 1e3:8.2f}ms  "
+            f"{event_s / dag_s:5.2f}x",
+            flush=True,
+        )
+    return rows, mismatches
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny grid, no JSON; exit 1 unless DAG beats the event loop "
+             "on aggregate and results are bit-identical (the CI gate)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=None,
+        help="wall-clock reps per (point, engine); best is kept "
+             "(default 3, smoke 2)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output JSON path (default: BENCH_fastpath.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    grid = SMOKE_GRID if args.smoke else GRID
+    reps = args.reps if args.reps is not None else (2 if args.smoke else 3)
+    print(f"engine speed: {len(grid)} points, best of {reps} reps each")
+    rows, mismatches = run_grid(grid, reps)
+
+    if mismatches:
+        print(f"FAIL: engines disagree on {len(mismatches)} points:")
+        for spec in mismatches:
+            print(f"  {spec}")
+        return 1
+
+    event_total = sum(r["event_s"] for r in rows)
+    dag_total = sum(r["dag_s"] for r in rows)
+    speedups = [r["speedup"] for r in rows]
+    aggregate = {
+        "event_points_per_sec": len(rows) / event_total,
+        "dag_points_per_sec": len(rows) / dag_total,
+        "speedup": event_total / dag_total,
+        "per_point_min": min(speedups),
+        "per_point_median": statistics.median(speedups),
+        "per_point_max": max(speedups),
+    }
+    print(
+        f"aggregate: event {aggregate['event_points_per_sec']:.2f} pts/s, "
+        f"dag {aggregate['dag_points_per_sec']:.2f} pts/s -> "
+        f"{aggregate['speedup']:.2f}x "
+        f"(per-point min {aggregate['per_point_min']:.2f}x / "
+        f"median {aggregate['per_point_median']:.2f}x / "
+        f"max {aggregate['per_point_max']:.2f}x)"
+    )
+
+    if args.smoke:
+        # the gate: identical results (checked above) and a real speedup.
+        # The bar is deliberately below the steady-state ratio so scheduler
+        # noise on shared runners cannot flake the job.
+        if aggregate["speedup"] < 1.2:
+            print("FAIL: DAG engine is not meaningfully faster (< 1.2x)")
+            return 1
+        print("smoke ok: engines identical, DAG faster")
+        return 0
+
+    out = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_fastpath.json"
+    )
+    doc = {
+        "benchmark": "dag-fastpath-vs-event-loop",
+        "python": sys.version.split()[0],
+        "reps": reps,
+        "protocol": "best-of-reps wall time of run_point per engine; "
+                    "bit-identical results asserted per point",
+        "points": rows,
+        "aggregate": aggregate,
+    }
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,17 +22,46 @@ from repro.hw.topology import Topology
 from repro.mpi.buffer import Buffer
 from repro.mpi.datatypes import SUM
 from repro.mpi.runtime import RankCtx, World
+from repro.sched.fastpath import evaluate_point as _dag_evaluate_point
+from repro.sched.fastpath import fastpath_supported
 from repro.sim.engine import ProcGen
 from repro.sim.trace import Tracer
 from repro.util.units import KB
 
-__all__ = ["paper_iterations", "MicrobenchResult", "run_point", "COLLECTIVES"]
+__all__ = [
+    "paper_iterations", "MicrobenchResult", "run_point", "COLLECTIVES",
+    "ENGINES", "resolve_engine",
+]
 
 #: the paper's three primary collectives first, then the extensions
 COLLECTIVES = (
     "scatter", "allgather", "allreduce", "alltoall", "bcast", "gather",
     "reduce",
 )
+
+#: how a point is evaluated: the coroutine event loop (authoritative), the
+#: DAG fast path (bit-identical, planner-backed pairs only), or ``auto``
+#: (DAG whenever it applies, event loop otherwise)
+ENGINES = ("event", "dag", "auto")
+
+
+def resolve_engine(
+    engine: str, library: str, collective: str, tracing: bool = False
+) -> str:
+    """Resolve ``auto`` to the engine that will actually run.
+
+    ``auto`` picks the DAG fast path exactly when the (library, collective)
+    pair is planner-backed and no tracer is attached (phantom data is
+    implied: :func:`run_point` worlds are always phantom).  The result is
+    always ``"event"`` or ``"dag"``.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
+    if engine == "auto":
+        if not tracing and fastpath_supported(library, collective):
+            return "dag"
+        return "event"
+    return engine
 
 
 def paper_iterations(nbytes: int) -> int:
@@ -144,6 +173,7 @@ def run_point(
     measure: int = 2,
     tracer: Optional[Tracer] = None,
     thresholds: Optional[Thresholds] = None,
+    engine: str = "event",
 ) -> MicrobenchResult:
     """Measure one (library, collective, shape, size) point.
 
@@ -157,9 +187,36 @@ def run_point(
 
     ``thresholds`` overrides the library's algorithm switch points
     (ablations); only libraries that select by size accept it.
+
+    ``engine`` selects how the point is evaluated (see :data:`ENGINES`).
+    ``"dag"`` replays the compiled schedule on the analytic fast path —
+    bit-identical samples, no coroutines — and only covers planner-backed
+    pairs; it cannot trace.  ``"auto"`` degrades to the event loop instead
+    of raising.
     """
     if measure < 1:
         raise ValueError("need at least one measured iteration")
+    engine = resolve_engine(engine, library, collective, tracing=tracer is not None)
+    if engine == "dag":
+        if tracer is not None:
+            raise ValueError(
+                "engine='dag' cannot record traces; use engine='event'"
+            )
+        fast = _dag_evaluate_point(
+            library, collective, nodes, ppn, msg_bytes,
+            params=params, warmup=warmup, measure=measure,
+            thresholds=thresholds,
+        )
+        return MicrobenchResult(
+            library=library,
+            collective=collective,
+            nodes=nodes,
+            ppn=ppn,
+            msg_bytes=msg_bytes,
+            time=sum(fast.samples) / len(fast.samples),
+            samples=fast.samples,
+            internode_messages=fast.internode_messages,
+        )
     lib = make_library(library)
     if thresholds is not None:
         if not hasattr(lib, "thresholds"):

@@ -58,6 +58,19 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: entry bytes deserialized on hits / serialized on stores
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def stats(self) -> dict:
+        """Counters since construction (``--cache-stats`` reporting)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -66,8 +79,8 @@ class ResultCache:
         """The cached result for ``point``, or ``None`` on a miss."""
         path = self._path(cache_key(point))
         try:
-            with path.open("r", encoding="utf-8") as fh:
-                doc = json.load(fh)
+            raw = path.read_bytes()
+            doc = json.loads(raw)
             result = MicrobenchResult(
                 library=doc["library"],
                 collective=doc["collective"],
@@ -90,6 +103,7 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        self.bytes_read += len(raw)
         return result
 
     def put(self, point: Point, result: MicrobenchResult) -> None:
@@ -107,14 +121,16 @@ class ResultCache:
             "samples": list(result.samples),
             "internode_messages": result.internode_messages,
         }
+        encoded = json.dumps(doc, separators=(",", ":")).encode("utf-8")
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=path.name, suffix=".tmp"
         )
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(doc, fh, separators=(",", ":"))
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(encoded)
             os.replace(tmp, path)
             self.stores += 1
+            self.bytes_written += len(encoded)
         except BaseException:
             try:
                 os.unlink(tmp)

@@ -41,6 +41,11 @@ class Point:
     measure: int = 2
     params: Optional[MachineParams] = None
     thresholds: Optional[Thresholds] = None
+    #: evaluation engine (see repro.bench.microbench.ENGINES).  Part of the
+    #: cache key: ``auto`` may resolve differently as fast-path coverage
+    #: grows, so engines never share cached entries even though ``dag`` is
+    #: bit-identical by construction.
+    engine: str = "event"
 
     def resolved_params(self) -> MachineParams:
         return self.params if self.params is not None else bebop_broadwell()
@@ -61,6 +66,7 @@ class Point:
             "thresholds": (
                 None if self.thresholds is None else asdict(self.thresholds)
             ),
+            "engine": self.engine,
         }
 
     def label(self) -> str:
@@ -80,12 +86,14 @@ def expand_sweep(
     params: Optional[MachineParams] = None,
     warmup: int = 1,
     measure: int = 2,
+    engine: str = "event",
 ) -> List[Point]:
     """Expand a message-size sweep into points, size-major then library —
     the same order the serial loops used, so progress output and result
     ordering stay familiar."""
     return [
-        Point(lib, collective, nodes, ppn, nbytes, warmup, measure, params)
+        Point(lib, collective, nodes, ppn, nbytes, warmup, measure, params,
+              engine=engine)
         for nbytes in sizes
         for lib in libs
     ]

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import os
 import sys
+from dataclasses import replace
 from typing import Callable, List, Optional, Sequence
 
-from repro.bench.microbench import MicrobenchResult, run_point
+from repro.bench.microbench import ENGINES, MicrobenchResult, run_point
 from repro.bench.runner.cache import ResultCache
 from repro.bench.runner.points import Point
 
@@ -23,6 +24,7 @@ __all__ = ["SweepRunner", "default_runner", "run_points", "run_point_spec"]
 _ENV_JOBS = "PIPMCOLL_JOBS"
 _ENV_CACHE = "PIPMCOLL_CACHE"
 _ENV_PROGRESS = "PIPMCOLL_PROGRESS"
+_ENV_ENGINE = "PIPMCOLL_ENGINE"
 
 #: ``progress(done, total, point, source)`` with source in {"run", "cache"}
 ProgressFn = Callable[[int, int, Point, str], None]
@@ -46,6 +48,7 @@ def run_point_spec(point: Point) -> MicrobenchResult:
         warmup=point.warmup,
         measure=point.measure,
         thresholds=point.thresholds,
+        engine=point.engine,
     )
 
 
@@ -90,6 +93,12 @@ class SweepRunner:
     progress:
         ``progress(done, total, point, source)`` callback; ``None`` reads
         ``PIPMCOLL_PROGRESS`` and, when set, prints to stderr.
+    engine:
+        Force every point onto one evaluation engine (``"event"``,
+        ``"dag"`` or ``"auto"``); ``None`` reads ``PIPMCOLL_ENGINE`` and,
+        when that is unset too, leaves each point's own ``engine`` field
+        alone.  The override rewrites the points before the cache pass, so
+        it is part of the cache key like any other spec field.
     """
 
     def __init__(
@@ -99,6 +108,7 @@ class SweepRunner:
         refresh: bool = False,
         cache: Optional[ResultCache] = None,
         progress: "ProgressFn | None" = None,
+        engine: Optional[str] = None,
     ):
         self.jobs = _default_jobs() if jobs is None else max(1, int(jobs))
         self.use_cache = (
@@ -109,11 +119,21 @@ class SweepRunner:
         if progress is None and _env_flag(_ENV_PROGRESS, False):
             progress = _stderr_progress
         self.progress = progress
+        if engine is None:
+            engine = os.environ.get(_ENV_ENGINE) or None
+        if engine is not None and engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
+        self.engine = engine
 
     # -- execution -------------------------------------------------------
 
     def run(self, points: Sequence[Point]) -> List[MicrobenchResult]:
         """Execute ``points``; results come back in submission order."""
+        if self.engine is not None:
+            points = [
+                p if p.engine == self.engine else replace(p, engine=self.engine)
+                for p in points
+            ]
         total = len(points)
         results: List[Optional[MicrobenchResult]] = [None] * total
         done = 0

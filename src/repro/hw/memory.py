@@ -14,6 +14,7 @@ stage (§IV-A) therefore absorbs fault costs exactly like the real runs do.
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Hashable, Set, Tuple
 
 from repro.hw.params import MachineParams
@@ -62,32 +63,62 @@ class MemoryModel:
         """Drop page-fault warm state (used between benchmark repetitions)."""
         self._warmed.clear()
 
-    # -- blocking operations (yield from these inside a process) ----------
+    # -- occupancy closures (reserve lanes now, return the blocked time) --
 
-    def copy(self, nbytes: int, extra_fixed: float = 0.0) -> ProcGen:
-        """Block the calling process for one ``nbytes`` copy.
+    def copy_occupy(self, now: float, nbytes: int, extra_fixed: float = 0.0) -> float:
+        """Reserve the lanes for one copy starting ``now``; return how long
+        the calling process is blocked.
 
         The per-byte part contends for memory lanes; ``copy_latency`` and
         ``extra_fixed`` (syscalls, faults, handshakes) are charged to the
-        process without occupying a lane.
+        process without occupying a lane.  This is the shared cost closure:
+        the event engine yields the returned duration as a ``Delay``, the
+        DAG fast path schedules it directly on a timeline.
         """
-        now = self.engine.now
         blocked = self.params.copy_latency + extra_fixed
         if nbytes > 0:
-            _, end = self.lanes.reserve(now, self.copy_service(nbytes))
+            # lanes.reserve inlined (same arithmetic and accounting):
+            # this runs once per simulated copy and sits on the hot path
+            # of both engines
+            lanes = self.lanes
+            service = nbytes / self.params.core_copy_bw
+            heap = lanes._free_heap
+            earliest = heappop(heap)
+            start = earliest if earliest > now else now
+            end = start + service
+            heappush(heap, end)
+            lanes.busy_time += service
+            lanes.served += 1
             blocked += end - now
             self.bytes_copied += nbytes
-        yield Delay(blocked)
+        return blocked
+
+    def reduce_occupy(self, now: float, nbytes: int, extra_fixed: float = 0.0) -> float:
+        """Reserve the lanes for one reduction; return the blocked time."""
+        blocked = self.params.copy_latency + extra_fixed
+        if nbytes > 0:
+            lanes = self.lanes
+            service = nbytes / self.params.reduce_bw
+            heap = lanes._free_heap
+            earliest = heappop(heap)
+            start = earliest if earliest > now else now
+            end = start + service
+            heappush(heap, end)
+            lanes.busy_time += service
+            lanes.served += 1
+            blocked += end - now
+            self.bytes_reduced += nbytes
+        return blocked
+
+    # -- blocking operations (yield from these inside a process) ----------
+
+    def copy(self, nbytes: int, extra_fixed: float = 0.0) -> ProcGen:
+        """Block the calling process for one ``nbytes`` copy."""
+        yield Delay(self.copy_occupy(self.engine.now, nbytes, extra_fixed))
 
     def reduce(self, nbytes: int, extra_fixed: float = 0.0) -> ProcGen:
         """Block the calling process for one ``nbytes`` reduction."""
-        now = self.engine.now
-        blocked = self.params.copy_latency + extra_fixed
-        if nbytes > 0:
-            _, end = self.lanes.reserve(now, self.reduce_service(nbytes))
-            blocked += end - now
-            self.bytes_reduced += nbytes
-        yield Delay(blocked)
+        yield Delay(self.reduce_occupy(self.engine.now, nbytes, extra_fixed))
 
     def utilisation(self) -> Tuple[float, int]:
         """(total lane-busy seconds, operations served)."""

@@ -86,14 +86,42 @@ class NodeNic:
         # previous one.  An uncontended transfer therefore costs
         # ``nbytes / min(stage bandwidths) + wire latency``, while each
         # stage still serialises competing messages FIFO.
+        #
+        # The Server/RateLimiter reservations are inlined here (same
+        # arithmetic, same accounting fields): this function runs once per
+        # simulated message and the method-call overhead of five reserve/
+        # admit calls dominated its cost.
         # 1. per-process injection
-        inj_start, inj_done = self.inject[src_local].reserve(
-            now, self.inject_service(nbytes, dma=dma)
-        )
+        inj = self.inject[src_local]
+        service = nbytes / (p.proc_dma_bandwidth if dma else p.proc_bandwidth)
+        rate_floor = 1.0 / p.proc_msg_rate
+        if service < rate_floor:
+            service = rate_floor
+        inj_start = inj._next_free
+        if now > inj_start:
+            inj_start = now
+        inj_done = inj_start + service
+        inj._next_free = inj_done
+        inj.busy_time += service
+        inj.served += 1
         # 2. node transmit side: rate ceiling then bandwidth
-        tx_admit = self.tx_rate.admit(inj_start)
-        tx_start, tx_end = self.tx_bw.reserve(tx_admit, self.wire_service(nbytes))
-        tx_end = max(tx_end, inj_done)
+        tx_rate = self.tx_rate
+        tx_admit = tx_rate._next_slot
+        if inj_start > tx_admit:
+            tx_admit = inj_start
+        tx_rate._next_slot = tx_admit + tx_rate._interval
+        tx_rate.admitted += 1
+        wire_service = nbytes / p.nic_bandwidth
+        tx_bw = self.tx_bw
+        tx_start = tx_bw._next_free
+        if tx_admit > tx_start:
+            tx_start = tx_admit
+        tx_end = tx_start + wire_service
+        tx_bw._next_free = tx_end
+        tx_bw.busy_time += wire_service
+        tx_bw.served += 1
+        if inj_done > tx_end:
+            tx_end = inj_done
         # 2b. oversubscribed core fabric (optional), pipelined like the rest
         if self.fabric is not None:
             fab_start, fab_end = self.fabric.reserve(
@@ -105,9 +133,24 @@ class NodeNic:
             head_start, tail_end = tx_start, tx_end
         # 3+4. wire + receive side
         head_arrival = head_start + p.wire_latency
-        rx_admit = dst.rx_rate.admit(head_arrival)
-        _, rx_end = dst.rx_bw.reserve(rx_admit, dst.wire_service(nbytes))
-        arrival = max(tail_end + p.wire_latency, rx_end)
+        rx_rate = dst.rx_rate
+        rx_admit = rx_rate._next_slot
+        if head_arrival > rx_admit:
+            rx_admit = head_arrival
+        rx_rate._next_slot = rx_admit + rx_rate._interval
+        rx_rate.admitted += 1
+        rx_service = nbytes / dst.params.nic_bandwidth
+        rx_bw = dst.rx_bw
+        rx_start = rx_bw._next_free
+        if rx_admit > rx_start:
+            rx_start = rx_admit
+        rx_end = rx_start + rx_service
+        rx_bw._next_free = rx_end
+        rx_bw.busy_time += rx_service
+        rx_bw.served += 1
+        arrival = tail_end + p.wire_latency
+        if rx_end > arrival:
+            arrival = rx_end
         return inj_done, arrival
 
     def reset(self) -> None:

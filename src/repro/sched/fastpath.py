@@ -1,0 +1,1071 @@
+"""DAG fast-path evaluator: analytic timing of compiled schedules.
+
+Every planner-backed collective compiles to a static per-rank
+:class:`~repro.sched.ir.Schedule`, so its simulated duration is fully
+determined by the schedule's cross-rank dependency DAG (send/recv matching
+by tag, board/counter joins) and the hardware cost closures — there is
+nothing left for the event loop to *decide*, only to order.  This module
+evaluates that DAG directly on a :class:`~repro.sim.timeline.Timeline`:
+each rank's program is lowered once into a flat opcode list (buffer
+references resolved to ``(name, offset, count)`` triples, tag expressions
+compiled to slot builders, node-locality of every send decided statically)
+and then interpreted by a small continuation machine whose suspension
+points are plain timeline callbacks — no coroutines, no ``Buffer``
+objects, no ``Transport``.
+
+Bit-identity (pinned by ``tests/sched/test_fastpath.py``) rests on two
+invariants:
+
+* every float is produced by the *same shared code* as the event path —
+  :meth:`NodeNic.transfer`, :meth:`MemoryModel.copy_occupy` /
+  :meth:`reduce_occupy`, and the mechanisms' ``sender_occupy`` /
+  ``match_fixed`` closures;
+* every suspension point and scheduling call of the generator-based
+  runtime maps to exactly one timeline callback scheduled in the same
+  relative order, so all ``(time, seq)`` tie-breaks resolve identically.
+
+The one deliberate event-count deviation: the event engine starts a rank
+with a spawn dispatch that immediately suspends on the library's
+software-overhead delay; the fast path schedules the first program slice
+at ``start + overhead`` directly.  At iteration start the timeline is
+empty and spawn dispatches make no observable state change, so the rank
+slices still execute in rank order at the same instant.
+
+Scope is exactly the planner-backed registry
+(:func:`repro.sched.registry.plan_for`) driven with phantom data — the
+microbenchmark configuration every figure sweep uses.  Tracing, validation
+oracles, and real-data runs stay on the event loop, which remains the
+semantic reference.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappush
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.hw.memory import MemoryModel
+from repro.hw.nic import NodeNic
+from repro.hw.params import MachineParams, bebop_broadwell
+from repro.mpi.transport import RTS_HEADER_BYTES
+from repro.sched.ir import (
+    AllocStep,
+    ComputeStep,
+    CopyStep,
+    HashTag,
+    IntraOpStep,
+    Ns,
+    PhaseStep,
+    RankProgram,
+    RecvStep,
+    ReduceStep,
+    Schedule,
+    SendStep,
+    Sym,
+    TagOffset,
+    WaitStep,
+    resolve_key,
+)
+from repro.sched.registry import (
+    COLLECTIVES,
+    LIBRARIES,
+    PlannedCollective,
+    plan_for,
+)
+from repro.shmem.base import MsgInfo
+from repro.sim.engine import DeadlockError
+from repro.sim.resources import Server
+from repro.sim.timeline import Timeline, TimelineEvent
+
+__all__ = [
+    "fastpath_supported",
+    "evaluate_point",
+    "evaluate_tables",
+    "FastpathResult",
+    "FastWorld",
+]
+
+
+class FastpathResult(NamedTuple):
+    """Timing output of :func:`evaluate_point` (fields mirror run_point)."""
+
+    samples: Tuple[float, ...]
+    internode_messages: int
+
+
+#: canonical registry name -> benchmark-facing library name
+_DISPLAY_NAMES = {
+    "pip-mcoll": "PiP-MColl",
+    "pip-mcoll-small": "PiP-MColl-small",
+    "pip-mpich": "PiP-MPICH",
+    "openmpi": "OpenMPI",
+}
+
+
+def fastpath_supported(library: str, collective: str) -> bool:
+    """Whether the DAG engine covers this (library, collective) pair.
+
+    True exactly when :func:`repro.sched.registry.plan_for` would succeed:
+    the PiP-MColl primary collectives and the flat baselines' allgather.
+    """
+    canon = library.lower().replace("_", "-").replace(" ", "-")
+    if canon not in LIBRARIES or collective not in COLLECTIVES:
+        return False
+    if canon in ("pip-mpich", "openmpi") and collective != "allgather":
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# schedule lowering: RankProgram -> flat opcode list
+# ---------------------------------------------------------------------------
+
+(
+    _OP_SEND_INTRA,
+    _OP_SEND_INTER,
+    _OP_RECV,
+    _OP_WAIT,
+    _OP_COPY,
+    _OP_REDUCE,
+    _OP_POST,
+    _OP_LOOKUP,
+    _OP_ADD,
+    _OP_CWAIT,
+    _OP_ALLOC,
+    _OP_PHASE,
+    _OP_COMPUTE,
+) = range(13)
+
+_MARKERS = (Ns, Sym, HashTag, TagOffset)
+
+
+def _has_markers(key) -> bool:
+    cls = key.__class__
+    if cls is tuple:
+        return any(_has_markers(k) for k in key)
+    return cls in _MARKERS
+
+
+def _key_builder(key):
+    """Compile one tag/key expression to ``fn(ns_values, symbols) -> value``.
+
+    Specialised per expression structure — the dominant shape (a tuple with
+    one symbolic element among constants) resolves with a single closure
+    call and one tuple concatenation per iteration.
+    """
+    cls = key.__class__
+    if cls is Ns:
+        i = key.index
+        return lambda ns, sy: ns[i]
+    if cls is Sym:
+        name = key.name
+        return lambda ns, sy: sy[name]
+    if cls is tuple:
+        dyn = [
+            (i, _key_builder(k))
+            for i, k in enumerate(key) if _has_markers(k)
+        ]
+        if len(dyn) == 1:
+            pos, build = dyn[0]
+            pre = tuple(
+                resolve_key(k, (), {}) for k in key[:pos]
+            )
+            post = tuple(
+                resolve_key(k, (), {}) for k in key[pos + 1:]
+            )
+            if not post:
+                return lambda ns, sy: pre + (build(ns, sy),)
+            return lambda ns, sy: pre + (build(ns, sy),) + post
+        template = [
+            None if _has_markers(k) else resolve_key(k, (), {})
+            for k in key
+        ]
+        dyn_t = tuple(dyn)
+
+        def build_tuple(ns, sy):
+            out = template.copy()
+            for i, b in dyn_t:
+                out[i] = b(ns, sy)
+            return tuple(out)
+
+        return build_tuple
+    if cls is HashTag:
+        inner = _key_builder(key.key)
+
+        def build_hash(ns, sy):
+            v = inner(ns, sy)
+            return v if isinstance(v, int) else hash(v) & 0x7FFFFFFF
+
+        return build_hash
+    if cls is TagOffset:
+        base = _key_builder(key.base)
+        delta = key.delta
+        return lambda ns, sy: base(ns, sy) + delta
+    return lambda ns, sy: key
+
+
+class _Compiled(NamedTuple):
+    """One lowered rank program."""
+
+    ops: Tuple[tuple, ...]
+    #: tag-slot prototype; dynamic slots hold None until the prologue runs
+    const_tags: Tuple
+    #: (slot, builder) pairs evaluated once per iteration
+    dyn_tags: Tuple[Tuple[int, object], ...]
+    num_handles: int
+
+
+def _compile_program(program: RankProgram, index: int, ppn: int) -> _Compiled:
+    node = index // ppn
+    ops: list = []
+    slots: Dict = {}
+    const_tags: list = []
+    dyn_tags: list = []
+
+    def key_slot(key) -> int:
+        slot = slots.get(key)
+        if slot is None:
+            slot = slots[key] = len(const_tags)
+            if _has_markers(key):
+                const_tags.append(None)
+                dyn_tags.append((slot, _key_builder(key)))
+            else:
+                const_tags.append(resolve_key(key, (), {}))
+        return slot
+
+    for step in program.steps:
+        cls = step.__class__
+        if cls is SendStep:
+            ref = step.buf
+            if step.dst // ppn == node:
+                ops.append((
+                    _OP_SEND_INTRA, step.dst, ref.name, ref.offset,
+                    ref.count, key_slot(step.tag), step.handle,
+                ))
+            else:
+                ops.append((
+                    _OP_SEND_INTER, step.dst, step.dst // ppn,
+                    ref.name, ref.offset, ref.count,
+                    key_slot(step.tag), step.handle,
+                ))
+        elif cls is RecvStep:
+            ops.append((
+                _OP_RECV, step.src, key_slot(step.tag), step.handle,
+            ))
+        elif cls is WaitStep:
+            if step.handles:
+                ops.append((_OP_WAIT, step.handles, len(step.handles)))
+        elif cls is CopyStep:
+            ref = step.src
+            ops.append((_OP_COPY, ref.name, ref.offset, ref.count))
+        elif cls is ReduceStep:
+            ref = step.src
+            ops.append((_OP_REDUCE, ref.name, ref.offset, ref.count))
+        elif cls is IntraOpStep:
+            kind = step.op
+            if kind == "post":
+                ref = step.value
+                ops.append((
+                    _OP_POST, key_slot(step.key),
+                    ref.name, ref.offset, ref.count,
+                ))
+            elif kind == "lookup":
+                ops.append((_OP_LOOKUP, key_slot(step.key), step.bind))
+            elif kind == "add":
+                ops.append((_OP_ADD, key_slot(step.key), step.n))
+            elif kind == "wait":
+                ops.append((_OP_CWAIT, key_slot(step.key), step.n))
+            else:  # pragma: no cover - planners only emit the four ops
+                raise ValueError(f"unknown intra op {kind!r}")
+        elif cls is AllocStep:
+            ops.append((_OP_ALLOC, step.name, step.count))
+        elif cls is PhaseStep:
+            ops.append((_OP_PHASE, step.name))
+        elif cls is ComputeStep:
+            ops.append((_OP_COMPUTE, step.seconds))
+        else:  # pragma: no cover - the IR is closed
+            raise TypeError(f"unknown step {step!r}")
+    return _Compiled(
+        tuple(ops), tuple(const_tags), tuple(dyn_tags), program.num_handles
+    )
+
+
+def _compiled_for(schedule: Schedule, ppn: int) -> Tuple[_Compiled, ...]:
+    """Lower ``schedule`` for node size ``ppn``, cached on the schedule.
+
+    Planner schedules are ``lru_cache``d module-level singletons, so
+    stashing the lowered form on the object (keyed by ppn, which decides
+    send locality) makes compilation a once-per-process cost.
+    """
+    cache = getattr(schedule, "_fastpath_cache", None)
+    if cache is None:
+        cache = {}
+        object.__setattr__(schedule, "_fastpath_cache", cache)
+    compiled = cache.get(ppn)
+    if compiled is None:
+        compiled = tuple(
+            _compile_program(prog, i, ppn)
+            for i, prog in enumerate(schedule.programs)
+        )
+        cache[ppn] = compiled
+    return compiled
+
+
+# ---------------------------------------------------------------------------
+# runtime objects
+# ---------------------------------------------------------------------------
+
+
+class _EngineShim:
+    """Duck-typed ``engine`` for :class:`MemoryModel`/mechanisms: ``.now``
+    tracks the timeline so the shared cost closures read the right clock."""
+
+    __slots__ = ("_tl",)
+
+    def __init__(self, tl: Timeline):
+        self._tl = tl
+
+    @property
+    def now(self) -> float:
+        return self._tl.now
+
+
+class _Req:
+    """A posted send/receive with an inlined single-waiter event.
+
+    The live transport pairs each request with an ``Event``; here at most
+    one callback (the owning rank's wait continuation) ever waits, so the
+    event collapses to ``done``/``value``/``waiter`` fields.
+    """
+
+    __slots__ = ("kind", "done", "value", "waiter")
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.done = False
+        self.value = None
+        self.waiter = None
+
+
+class _Msg:
+    """One in-flight message (the fast path's ``Message``)."""
+
+    __slots__ = (
+        "src", "dst", "tag", "nbytes", "src_buffer_id",
+        "intranode", "rendezvous", "unexpected", "src_local", "sreq",
+    )
+
+    def __init__(self, src, dst, tag, nbytes, src_buffer_id, intranode,
+                 rendezvous, src_local, sreq):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.nbytes = nbytes
+        self.src_buffer_id = src_buffer_id
+        self.intranode = intranode
+        self.rendezvous = rendezvous
+        self.unexpected = False
+        self.src_local = src_local
+        self.sreq = sreq
+
+
+class _Counter:
+    """Shared-counter state: value + ordered ``(threshold, event)`` waiters."""
+
+    __slots__ = ("value", "waiters")
+
+    def __init__(self) -> None:
+        self.value = 0
+        self.waiters: list = []
+
+
+class FastWorld:
+    """Hardware + matching state for one sweep point's DAG evaluation.
+
+    Owns the same resource objects the event path would — per-node
+    :class:`NodeNic` and :class:`MemoryModel`, an optional shared fabric
+    server — plus lightweight stand-ins for the transport's match tables
+    and the PiP boards/counters.  Like :class:`~repro.mpi.runtime.World`,
+    all state persists across iterations (the warm-up protocol).
+    """
+
+    def __init__(self, params: MachineParams, nodes: int, ppn: int,
+                 mechanism, software_overhead: float):
+        params.validate()
+        self.params = params
+        self.nodes = nodes
+        self.ppn = ppn
+        self.size = nodes * ppn
+        self.mechanism = mechanism
+        self.software_overhead = software_overhead
+        # per-message hot constants, denormalised off params
+        self.send_overhead = params.send_overhead
+        self.recv_overhead = params.recv_overhead
+        self.wire_latency = params.wire_latency
+        self.eager_threshold = params.eager_threshold
+        self.pip_post_time = params.pip_post_time
+        self.pip_flag_time = params.pip_flag_time
+        self.tl = Timeline()
+        shim = _EngineShim(self.tl)
+        self.fabric: Optional[Server] = (
+            Server(name="fabric") if params.fabric_bandwidth else None
+        )
+        self.nics = [
+            NodeNic(params, node, ppn, fabric=self.fabric)
+            for node in range(nodes)
+        ]
+        self.mems = [
+            MemoryModel(shim, params, node) for node in range(nodes)
+        ]
+        #: scratch MsgInfo handed to mechanism closures; all uses are
+        #: synchronous (single dispatch), so one instance suffices
+        self.info = MsgInfo(
+            src_rank=0, dst_rank=0, nbytes=0, src_buffer_id=0
+        )
+        # PiP environment: per-node board slots and counters
+        self.boards: List[Dict] = [{} for _ in range(nodes)]
+        self.counters: List[Dict] = [{} for _ in range(nodes)]
+        # transport match tables: per dst rank, (src, tag) -> FIFO
+        self.arrived: List[Dict] = [{} for _ in range(self.size)]
+        self.posted: List[Dict] = [{} for _ in range(self.size)]
+        self.unexpected_count = 0
+        # per-rank collective op counter (identical across ranks, so one
+        # world-level counter stands in for all of them)
+        self._op_seq = 0
+        # per-group collective-tag counters (flat baselines)
+        self._group_seqs: Dict = {}
+        # fresh abstract buffer ids (AllocStep temporaries; binding buffers)
+        self._buf_seq = 0
+        self.end_times: List[float] = []
+        self._live = 0
+        # rank tasks, reused across iterations of the same schedule
+        self._tasks: Optional[List["_Task"]] = None
+        self._tasks_schedule: Optional[Schedule] = None
+        #: optional (rank, phase) -> 6-column volume rows (check.py layout)
+        self.acct: Optional[Dict[Tuple[int, str], List[int]]] = None
+
+    # -- identity ---------------------------------------------------------
+
+    def new_buf_id(self) -> int:
+        self._buf_seq += 1
+        return self._buf_seq
+
+    def next_group_tag(self, tag_key) -> tuple:
+        seq = self._group_seqs.get(tag_key, 0) + 1
+        self._group_seqs[tag_key] = seq
+        return (tag_key, seq)
+
+    def internode_messages(self) -> int:
+        return sum(nic.messages_sent for nic in self.nics)
+
+    # -- transport matching (the fast path's _deliver/_complete_send) -----
+
+    def _deliver(self, msg: _Msg) -> None:
+        key = (msg.src, msg.tag)
+        rank_posted = self.posted[msg.dst]
+        queue = rank_posted.get(key)
+        if queue:
+            req = queue.popleft()
+            if not queue:
+                del rank_posted[key]
+            waiter = req.waiter
+            if waiter is not None:
+                req.waiter = None
+                self.tl._ready.append((waiter, msg))
+            else:
+                req.done = True
+                req.value = msg
+        else:
+            msg.unexpected = True
+            self.unexpected_count += 1
+            rank_arrived = self.arrived[msg.dst]
+            queue = rank_arrived.get(key)
+            if queue is None:
+                queue = rank_arrived[key] = deque()
+            queue.append(msg)
+
+    def _complete_send(self, req: _Req) -> None:
+        # collapses the live path's sender_done -> on_trigger ->
+        # match_event chain: _complete_send is that event's only
+        # subscriber and plain callbacks run synchronously at trigger
+        waiter = req.waiter
+        if waiter is not None:
+            req.waiter = None
+            self.tl._ready.append((waiter, None))
+        else:
+            req.done = True
+
+    # -- execution --------------------------------------------------------
+
+    def run_schedule(self, schedule: Schedule, envs, symbols: dict) -> float:
+        """One iteration: run every program to completion, return elapsed.
+
+        ``envs[i]`` is participant ``i``'s base environment (name ->
+        ``(buffer_id, element_count)``); it is copied per iteration exactly
+        like the executor rebuilds its env from the bindings each call.
+        """
+        tl = self.tl
+        start = tl.now
+        k = schedule.num_namespaces
+        ns_values = tuple(range(self._op_seq + 1, self._op_seq + 1 + k))
+        self._op_seq += k
+        tasks = self._tasks
+        if tasks is None or self._tasks_schedule is not schedule:
+            compiled = _compiled_for(schedule, self.ppn)
+            tasks = [
+                _Task(self, i, compiled[i]) for i in range(len(compiled))
+            ]
+            self._tasks = tasks
+            self._tasks_schedule = schedule
+        n = len(tasks)
+        self.end_times = [start] * n
+        self._live = n
+        heap = tl._heap
+        seq = tl._seq
+        body_start = start + self.software_overhead
+        for i in range(n):
+            task = tasks[i]
+            task.reset(envs[i], ns_values, symbols)
+            seq += 1
+            heappush(heap, (body_start, seq, task._run, None))
+        tl._seq = seq
+        tl.run()
+        if self._live:
+            raise DeadlockError(
+                f"{self._live} schedule program(s) blocked at t={tl.now} — "
+                f"fast-path evaluation deadlocked"
+            )
+        return max(self.end_times) - start
+
+
+# ---------------------------------------------------------------------------
+# the per-rank continuation machine
+# ---------------------------------------------------------------------------
+
+
+class _Task:
+    """One participant's lowered program, driven by timeline callbacks.
+
+    Each continuation method corresponds to exactly one suspension point
+    of the generator runtime; :meth:`_run` is the opcode interpreter that
+    executes steps until the next suspension.  A task suspends on at most
+    one operation at a time, so its operands live in ``_p_*`` scratch
+    slots instead of per-event argument tuples.
+    """
+
+    __slots__ = (
+        "w", "tl", "index", "rank", "node", "lr", "ops", "nops", "pc",
+        "env", "handles", "num_handles", "tags", "dyn_tags", "phase",
+        "mem", "nic", "mech", "board", "ctrs", "arr", "post_q",
+        "wait_handles", "wait_len", "wait_idx",
+        "_p_dst", "_p_node", "_p_bid", "_p_cnt", "_p_tag", "_p_req",
+        "_p_key", "_p_val", "_p_bind",
+        "_c_next_wait", "_c_recv_work", "_c_recv_done", "_c_send_inter",
+        "_c_send_intra", "_c_post", "_c_lookup", "_c_lookup_bind",
+        "_c_add", "_c_cwait",
+    )
+
+    def __init__(self, w: FastWorld, index: int, compiled: _Compiled):
+        self.w = w
+        self.tl = w.tl
+        self.index = index
+        # registry schedules are world-indexed: participant i is rank i
+        self.rank = index
+        self.node, self.lr = divmod(index, w.ppn)
+        self.ops = compiled.ops
+        self.nops = len(compiled.ops)
+        self.pc = 0
+        self.env: dict = {}
+        self.num_handles = compiled.num_handles
+        self.handles: list = []
+        self.dyn_tags = compiled.dyn_tags
+        # dynamic slots are refilled in place by reset(); fully constant
+        # tag lists are shared with the compiled form
+        self.tags = (
+            list(compiled.const_tags) if compiled.dyn_tags
+            else compiled.const_tags
+        )
+        self.phase = ""
+        self.mem = w.mems[self.node]
+        self.nic = w.nics[self.node]
+        self.mech = w.mechanism
+        self.board = w.boards[self.node]
+        self.ctrs = w.counters[self.node]
+        self.arr = w.arrived[index]
+        self.post_q = w.posted[index]
+        self.wait_handles: tuple = ()
+        self.wait_len = 0
+        self.wait_idx = 0
+        self._p_dst = self._p_node = self._p_bid = self._p_cnt = 0
+        self._p_tag = self._p_req = self._p_key = self._p_val = None
+        self._p_bind = None
+        # continuations are scheduled by reference many times per task;
+        # prebinding beats a bound-method allocation per event
+        self._c_next_wait = self._next_wait
+        self._c_recv_work = self._recv_work
+        self._c_recv_done = self._recv_done
+        self._c_send_inter = self._send_inter
+        self._c_send_intra = self._send_intra
+        self._c_post = self._post
+        self._c_lookup = self._lookup
+        self._c_lookup_bind = self._lookup_bind
+        self._c_add = self._add
+        self._c_cwait = self._cwait
+
+    def reset(self, env_base: dict, ns_values: tuple, symbols: dict) -> None:
+        """Rewind for the next iteration (fresh env/handles/tags)."""
+        self.pc = 0
+        self.env = dict(env_base)
+        self.handles = [None] * self.num_handles
+        dyn = self.dyn_tags
+        if dyn:
+            tags = self.tags
+            for slot, builder in dyn:
+                tags[slot] = builder(ns_values, symbols)
+        self.phase = ""
+
+    # -- the interpreter ---------------------------------------------------
+
+    def _run(self, _value=None) -> None:
+        w = self.w
+        tl = self.tl
+        heap = tl._heap
+        now = tl.now
+        ops = self.ops
+        n = self.nops
+        env = self.env
+        tags = self.tags
+        acct = w.acct
+        pc = self.pc
+        while pc < n:
+            op = ops[pc]
+            pc += 1
+            code = op[0]
+            if code == _OP_LOOKUP:
+                self.pc = pc
+                self._p_bind = op[2]
+                board = self.board
+                key = tags[op[1]]
+                ev = board.get(key)
+                if ev is None:
+                    ev = board[key] = TimelineEvent(tl)
+                if ev.triggered:
+                    tl._ready.append((self._c_lookup, ev.value))
+                else:
+                    ev._waiters.append(self._c_lookup)
+                return
+            if code == _OP_SEND_INTRA:
+                _, dst, name, off, cnt, slot, handle = op
+                base = env[name]
+                if cnt is None:
+                    cnt = base[1] - off
+                req = _Req("send")
+                self.handles[handle] = req
+                if acct is not None:
+                    self._account(2, cnt, messages=True)
+                self.pc = pc
+                self._p_dst = dst
+                self._p_bid = base[0]
+                self._p_cnt = cnt
+                self._p_tag = tags[slot]
+                self._p_req = req
+                # sender_occupy reserves lanes / mutates warm state now,
+                # at the same instant the live sender_work would
+                info = w.info
+                info.src_rank = self.rank
+                info.dst_rank = dst
+                info.nbytes = cnt
+                info.src_buffer_id = base[0]
+                d = self.mech.sender_occupy(self.mem, info)
+                tl._seq = seq = tl._seq + 1
+                heappush(heap, (now + d, seq, self._c_send_intra, None))
+                return
+            if code == _OP_SEND_INTER:
+                _, dst, dst_node, name, off, cnt, slot, handle = op
+                base = env[name]
+                if cnt is None:
+                    cnt = base[1] - off
+                req = _Req("send")
+                self.handles[handle] = req
+                if acct is not None:
+                    self._account(0, cnt, messages=True)
+                self.pc = pc
+                self._p_dst = dst
+                self._p_node = dst_node
+                self._p_bid = base[0]
+                self._p_cnt = cnt
+                self._p_tag = tags[slot]
+                self._p_req = req
+                tl._seq = seq = tl._seq + 1
+                heappush(heap, (
+                    now + w.send_overhead, seq, self._c_send_inter, None,
+                ))
+                return
+            if code == _OP_RECV:
+                _, src, slot, handle = op
+                req = _Req("recv")
+                self.handles[handle] = req
+                key = (src, tags[slot])
+                arrived = self.arr
+                queue = arrived.get(key)
+                if queue:
+                    msg = queue.popleft()
+                    if not queue:
+                        del arrived[key]
+                    # the request was just created: no waiter yet
+                    req.done = True
+                    req.value = msg
+                else:
+                    posted = self.post_q
+                    queue = posted.get(key)
+                    if queue is None:
+                        queue = posted[key] = deque()
+                    queue.append(req)
+            elif code == _OP_WAIT:
+                self.pc = pc
+                self.wait_handles = op[1]
+                self.wait_len = op[2]
+                self.wait_idx = 0
+                req = self.handles[op[1][0]]
+                fn = (self._c_next_wait if req.kind == "send"
+                      else self._c_recv_work)
+                if req.done:
+                    tl._ready.append((fn, req.value))
+                else:
+                    req.waiter = fn
+                return
+            elif code == _OP_COPY:
+                _, name, off, cnt = op
+                if cnt is None:
+                    cnt = env[name][1] - off
+                if acct is not None:
+                    self._account(4, cnt)
+                self.pc = pc
+                d = self.mem.copy_occupy(now, cnt, 0.0)
+                tl._seq = seq = tl._seq + 1
+                heappush(heap, (now + d, seq, self._run, None))
+                return
+            elif code == _OP_REDUCE:
+                _, name, off, cnt = op
+                if cnt is None:
+                    cnt = env[name][1] - off
+                if acct is not None:
+                    self._account(5, cnt)
+                self.pc = pc
+                d = self.mem.reduce_occupy(now, cnt, 0.0)
+                tl._seq = seq = tl._seq + 1
+                heappush(heap, (now + d, seq, self._run, None))
+                return
+            elif code == _OP_POST:
+                _, slot, name, off, cnt = op
+                base = env[name]
+                if cnt is None:
+                    cnt = base[1] - off
+                self.pc = pc
+                self._p_key = tags[slot]
+                self._p_val = (base[0], cnt)
+                tl._seq = seq = tl._seq + 1
+                heappush(heap, (
+                    now + w.pip_post_time, seq, self._c_post, None,
+                ))
+                return
+            elif code == _OP_ADD:
+                self.pc = pc
+                self._p_key = tags[op[1]]
+                self._p_val = op[2]
+                tl._seq = seq = tl._seq + 1
+                heappush(heap, (
+                    now + w.pip_flag_time, seq, self._c_add, None,
+                ))
+                return
+            elif code == _OP_CWAIT:
+                _, slot, threshold = op
+                self.pc = pc
+                ctrs = self.ctrs
+                key = tags[slot]
+                c = ctrs.get(key)
+                if c is None:
+                    c = ctrs[key] = _Counter()
+                if c.value >= threshold:
+                    tl._seq = seq = tl._seq + 1
+                    heappush(heap, (
+                        now + w.pip_flag_time, seq, self._run, None,
+                    ))
+                else:
+                    ev = TimelineEvent(tl)
+                    c.waiters.append((threshold, ev))
+                    ev._waiters.append(self._c_cwait)
+                return
+            elif code == _OP_ALLOC:
+                w._buf_seq = bid = w._buf_seq + 1
+                env[op[1]] = (bid, op[2])
+            elif code == _OP_PHASE:
+                self.phase = op[1]
+            else:  # _OP_COMPUTE
+                self.pc = pc
+                tl._seq = seq = tl._seq + 1
+                heappush(heap, (now + op[1], seq, self._run, None))
+                return
+        # program finished
+        w.end_times[self.index] = now
+        w._live -= 1
+
+    # -- send continuations ------------------------------------------------
+
+    def _send_inter(self, _value=None) -> None:
+        w = self.w
+        tl = self.tl
+        dst = self._p_dst
+        cnt = self._p_cnt
+        req = self._p_req
+        dst_nic = w.nics[self._p_node]
+        if cnt <= w.eager_threshold:
+            inject_done, arrival = self.nic.transfer(
+                tl.now, self.lr, dst_nic, cnt
+            )
+            msg = _Msg(self.rank, dst, self._p_tag, cnt, self._p_bid,
+                       False, False, self.lr, None)
+            tl.call(arrival, w._deliver, msg)
+            tl.call(inject_done, w._complete_send, req)
+        else:
+            _, rts_arrival = self.nic.transfer(
+                tl.now, self.lr, dst_nic, RTS_HEADER_BYTES
+            )
+            msg = _Msg(self.rank, dst, self._p_tag, cnt, self._p_bid,
+                       False, True, self.lr, req)
+            tl.call(rts_arrival, w._deliver, msg)
+        self._run()
+
+    def _send_intra(self, _value=None) -> None:
+        w = self.w
+        cnt = self._p_cnt
+        req = self._p_req
+        if self.mech.eager_for(cnt):
+            msg = _Msg(self.rank, self._p_dst, self._p_tag, cnt,
+                       self._p_bid, True, False, self.lr, None)
+            w._deliver(msg)
+            w._complete_send(req)
+        else:
+            msg = _Msg(self.rank, self._p_dst, self._p_tag, cnt,
+                       self._p_bid, True, False, self.lr, req)
+            w._deliver(msg)
+        self._run()
+
+    # -- wait/receive continuations ----------------------------------------
+
+    def _next_wait(self, _value=None) -> None:
+        i = self.wait_idx + 1
+        if i < self.wait_len:
+            self.wait_idx = i
+            req = self.handles[self.wait_handles[i]]
+            fn = (self._c_next_wait if req.kind == "send"
+                  else self._c_recv_work)
+            if req.done:
+                self.tl._ready.append((fn, req.value))
+            else:
+                req.waiter = fn
+        else:
+            self._run()
+
+    def _recv_work(self, msg: _Msg) -> None:
+        w = self.w
+        tl = self.tl
+        now = tl.now
+        if msg.intranode:
+            mech = self.mech
+            mem = self.mem
+            info = w.info
+            info.src_rank = msg.src
+            info.dst_rank = self.rank
+            info.nbytes = msg.nbytes
+            info.src_buffer_id = msg.src_buffer_id
+            fixed = mech.match_fixed(mem, info)
+            d = mem.copy_occupy(
+                now, mech.receiver_copy_bytes(msg.nbytes), fixed
+            )
+        elif msg.rendezvous:
+            # CTS header travels back, then the data path is reserved
+            data_start = now + w.send_overhead + w.wire_latency
+            src_nic = w.nics[msg.src // w.ppn]
+            inject_done, arrival = src_nic.transfer(
+                data_start, msg.src_local, self.nic, msg.nbytes, dma=True,
+            )
+            tl.call(inject_done, w._complete_send, msg.sreq)
+            d = arrival - now + w.recv_overhead
+        elif msg.unexpected:
+            d = self.mem.copy_occupy(now, msg.nbytes, w.recv_overhead)
+        else:
+            d = w.recv_overhead
+        tl._seq = seq = tl._seq + 1
+        heappush(tl._heap, (now + d, seq, self._c_recv_done, msg))
+
+    def _recv_done(self, msg: _Msg) -> None:
+        if msg.intranode:
+            sreq = msg.sreq
+            if sreq is not None:
+                self.w._complete_send(sreq)
+        self._next_wait()
+
+    # -- PiP continuations ---------------------------------------------------
+
+    def _post(self, _value=None) -> None:
+        board = self.board
+        key = self._p_key
+        ev = board.get(key)
+        if ev is None:
+            ev = board[key] = TimelineEvent(self.tl)
+        ev.trigger(self._p_val)
+        self._run()
+
+    def _lookup(self, value) -> None:
+        tl = self.tl
+        tl._seq = seq = tl._seq + 1
+        heappush(tl._heap, (
+            tl.now + self.w.pip_flag_time, seq, self._c_lookup_bind, value,
+        ))
+
+    def _lookup_bind(self, value) -> None:
+        bind = self._p_bind
+        if bind is not None:
+            self.env[bind] = value
+        self._run()
+
+    def _add(self, _value=None) -> None:
+        ctrs = self.ctrs
+        key = self._p_key
+        c = ctrs.get(key)
+        if c is None:
+            c = ctrs[key] = _Counter()
+        c.value += self._p_val
+        if c.waiters:
+            still = []
+            value = c.value
+            for threshold, ev in c.waiters:
+                if value >= threshold:
+                    ev.trigger(value)
+                else:
+                    still.append((threshold, ev))
+            c.waiters = still
+        self._run()
+
+    def _cwait(self, _value=None) -> None:
+        tl = self.tl
+        tl._seq = seq = tl._seq + 1
+        heappush(tl._heap, (
+            tl.now + self.w.pip_flag_time, seq, self._run, None,
+        ))
+
+    # -- accounting ----------------------------------------------------------
+
+    def _account(self, col: int, cnt: int, messages: bool = False) -> None:
+        acct = self.w.acct
+        row = acct.get((self.rank, self.phase))
+        if row is None:
+            row = acct[(self.rank, self.phase)] = [0] * 6
+        if messages:
+            row[col] += 1
+            row[col + 1] += cnt
+        else:
+            row[col] += cnt
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def _prepare(library: str, collective: str, nodes: int, ppn: int,
+             msg_bytes: int, params: Optional[MachineParams],
+             thresholds) -> Tuple[FastWorld, PlannedCollective, list, bool]:
+    """Shared setup: plan, world, per-participant base environments."""
+    from repro.baselines.registry import make_library
+
+    if not fastpath_supported(library, collective):
+        raise ValueError(
+            f"engine='dag' does not cover ({library!r}, {collective!r}); "
+            f"only planner-backed pairs are supported — use engine='event'"
+        )
+    canon = library.lower().replace("_", "-").replace(" ", "-")
+    lib = make_library(_DISPLAY_NAMES[canon])
+    if thresholds is not None and not hasattr(lib, "thresholds"):
+        raise ValueError(
+            f"library {library!r} has no size thresholds to override"
+        )
+    planned = plan_for(
+        canon, collective, nodes, ppn, msg_bytes, thresholds=thresholds
+    )
+    world = FastWorld(
+        params if params is not None else bebop_broadwell(),
+        nodes, ppn, lib.make_mechanism(), lib.software_overhead,
+    )
+    # binding buffers are allocated once per point (stable identities ->
+    # page-fault/attach state warms across iterations), exactly like the
+    # phantom buffers _make_body allocates once in run_point
+    envs = [
+        {name: (world.new_buf_id(), cnt) for name, cnt in binding.items()}
+        for binding in planned.bindings
+    ]
+    flat = bool(planned.symbols)  # flat baselines carry a Sym("tag")
+    return world, planned, envs, flat
+
+
+def evaluate_point(
+    library: str,
+    collective: str,
+    nodes: int,
+    ppn: int,
+    msg_bytes: int,
+    params: Optional[MachineParams] = None,
+    warmup: int = 1,
+    measure: int = 2,
+    thresholds=None,
+) -> FastpathResult:
+    """Evaluate one microbenchmark point on the DAG fast path.
+
+    Mirrors :func:`repro.bench.microbench.run_point`'s protocol — warm-up
+    iterations on the same world, then measured ones — and returns the
+    per-iteration times plus the cumulative internode message count.
+    """
+    if measure < 1:
+        raise ValueError("need at least one measured iteration")
+    world, planned, envs, flat = _prepare(
+        library, collective, nodes, ppn, msg_bytes, params, thresholds
+    )
+    # the flat wrappers scope tags with the world communicator's tag_key
+    # plus a per-invocation sequence number
+    tag_key = hash(tuple(range(nodes * ppn))) if flat else None
+    samples = []
+    for it in range(warmup + measure):
+        symbols = (
+            {"tag": world.next_group_tag(tag_key)} if flat else {}
+        )
+        elapsed = world.run_schedule(planned.schedule, envs, symbols)
+        if it >= warmup:
+            samples.append(elapsed)
+    return FastpathResult(tuple(samples), world.internode_messages())
+
+
+def evaluate_tables(
+    library: str,
+    collective: str,
+    nodes: int,
+    ppn: int,
+    msg_bytes: int,
+    params: Optional[MachineParams] = None,
+    thresholds=None,
+) -> Dict[Tuple[int, str], List[int]]:
+    """Per-(rank, phase) traffic volumes of one cold iteration.
+
+    Rows are the static checker's 6-column layout (``[inter-msgs,
+    inter-bytes, intra-msgs, intra-bytes, copy-bytes, reduce-bytes]``), so
+    the result is directly comparable to
+    :func:`repro.sched.check.check_planned`'s ``per_rank`` tables.
+    """
+    world, planned, envs, flat = _prepare(
+        library, collective, nodes, ppn, msg_bytes, params, thresholds
+    )
+    world.acct = {}
+    tag_key = hash(tuple(range(nodes * ppn))) if flat else None
+    symbols = {"tag": world.next_group_tag(tag_key)} if flat else {}
+    world.run_schedule(planned.schedule, envs, symbols)
+    return world.acct

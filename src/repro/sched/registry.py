@@ -42,6 +42,7 @@ from repro.util.units import KB
 __all__ = [
     "PlannedCollective",
     "plan_for",
+    "planner_cache_info",
     "registry_combinations",
     "LIBRARIES",
     "COLLECTIVES",
@@ -173,6 +174,28 @@ def plan_for(
         ),
         symbols={"tag": ("check-tag",)},
     )
+
+
+def planner_cache_info() -> Dict[str, "object"]:
+    """``lru_cache`` counters of every registered planner, by name.
+
+    Each value is the planner's ``functools.CacheInfo`` (hits, misses,
+    maxsize, currsize).  Sweeps hit the same (shape, size) plan once per
+    point per process; anything beyond one miss per distinct signature
+    means re-planning, which ``tests/sched/test_fastpath.py`` guards
+    against.
+    """
+    planners = (
+        plan_scatter,
+        plan_allgather_small,
+        plan_allgather_large,
+        plan_allreduce_small,
+        plan_allreduce_large,
+        plan_allgather_bruck,
+        plan_allgather_recursive_doubling,
+        plan_allgather_ring,
+    )
+    return {fn.__name__: fn.cache_info() for fn in planners}
 
 
 def registry_combinations() -> List[Tuple[str, str]]:

@@ -28,9 +28,15 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["ShmemMechanism", "MsgInfo"]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class MsgInfo:
-    """What a mechanism needs to know about one intranode message."""
+    """What a mechanism needs to know about one intranode message.
+
+    A plain slots dataclass (not frozen): one is built per intranode
+    message on the simulation hot path, and frozen-dataclass field
+    assignment via ``object.__setattr__`` costs several times a normal
+    ``__init__``.  Mechanisms treat it as read-only by convention.
+    """
 
     src_rank: int
     dst_rank: int
@@ -47,9 +53,25 @@ class ShmemMechanism(abc.ABC):
     #: True if the sender completes without receiver participation
     eager: bool = False
 
-    @abc.abstractmethod
+    def sender_occupy(self, mem: "MemoryModel", msg: MsgInfo) -> float:
+        """Seconds the sender is blocked before the message is posted.
+
+        The shared cost closure behind :meth:`sender_work`: called at the
+        moment the sender starts its work, it performs any resource
+        reservations / warm-state mutations and returns the blocked time.
+        Mechanisms override *this*, not :meth:`sender_work`; the default
+        costs nothing (descriptor-post mechanisms).
+        """
+        return 0.0
+
     def sender_work(self, mem: "MemoryModel", msg: MsgInfo) -> ProcGen:
-        """Blocking work at the sender before the message is posted."""
+        """Blocking work at the sender before the message is posted.
+
+        One ``Delay`` of :meth:`sender_occupy`'s duration — the event-loop
+        rendering of the cost closure (a zero cost still suspends once,
+        exactly like the historical no-op generator did).
+        """
+        yield Delay(self.sender_occupy(mem, msg))
 
     @abc.abstractmethod
     def match_fixed(self, mem: "MemoryModel", msg: MsgInfo) -> float:
@@ -62,11 +84,6 @@ class ShmemMechanism(abc.ABC):
     def eager_for(self, nbytes: int) -> bool:
         """Whether a message of ``nbytes`` completes eagerly at the sender."""
         return self.eager
-
-    @staticmethod
-    def _noop() -> ProcGen:
-        """A sender_work that costs nothing."""
-        yield Delay(0.0)
 
     def __str__(self) -> str:
         return self.name

@@ -17,7 +17,6 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Set, Tuple
 
 from repro.shmem.base import MsgInfo, ShmemMechanism
-from repro.sim.engine import ProcGen
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.memory import MemoryModel
@@ -43,9 +42,9 @@ class PosixShmem(ShmemMechanism):
     name = "posix-shmem"
     eager = True
 
-    def sender_work(self, mem: "MemoryModel", msg: MsgInfo) -> ProcGen:
+    def sender_occupy(self, mem: "MemoryModel", msg: MsgInfo) -> float:
         # copy-in to the shared slab
-        yield from mem.copy(msg.nbytes)
+        return mem.copy_occupy(mem.engine.now, msg.nbytes)
 
     def match_fixed(self, mem: "MemoryModel", msg: MsgInfo) -> float:
         return 0.0
@@ -61,9 +60,6 @@ class KernelCopy(ShmemMechanism):
 
     name = "kernel-copy"
     eager = False
-
-    def sender_work(self, mem: "MemoryModel", msg: MsgInfo) -> ProcGen:
-        return self._noop()
 
     def match_fixed(self, mem: "MemoryModel", msg: MsgInfo) -> float:
         fault = mem.fault_cost((msg.dst_rank, msg.src_buffer_id), msg.nbytes)
@@ -85,13 +81,13 @@ class Xpmem(ShmemMechanism):
         self._exposed: Set[Tuple[int, int]] = set()
         self._attached: Set[Tuple[int, int]] = set()
 
-    def sender_work(self, mem: "MemoryModel", msg: MsgInfo) -> ProcGen:
+    def sender_occupy(self, mem: "MemoryModel", msg: MsgInfo) -> float:
         key = (msg.src_rank, msg.src_buffer_id)
         extra = 0.0
         if key not in self._exposed:
             self._exposed.add(key)
             extra = mem.params.xpmem_expose_time
-        yield from mem.copy(0, extra_fixed=extra)
+        return mem.copy_occupy(mem.engine.now, 0, extra_fixed=extra)
 
     def match_fixed(self, mem: "MemoryModel", msg: MsgInfo) -> float:
         key = (msg.dst_rank, msg.src_buffer_id)
@@ -113,9 +109,6 @@ class PipShmem(ShmemMechanism):
 
     name = "pip"
     eager = False
-
-    def sender_work(self, mem: "MemoryModel", msg: MsgInfo) -> ProcGen:
-        return self._noop()
 
     def match_fixed(self, mem: "MemoryModel", msg: MsgInfo) -> float:
         return mem.params.pip_sizesync_time
@@ -147,8 +140,8 @@ class HybridMechanism(ShmemMechanism):
     def eager_for(self, nbytes: int) -> bool:
         return self.pick(nbytes).eager
 
-    def sender_work(self, mem: "MemoryModel", msg: MsgInfo) -> ProcGen:
-        return self.pick(msg.nbytes).sender_work(mem, msg)
+    def sender_occupy(self, mem: "MemoryModel", msg: MsgInfo) -> float:
+        return self.pick(msg.nbytes).sender_occupy(mem, msg)
 
     def match_fixed(self, mem: "MemoryModel", msg: MsgInfo) -> float:
         return self.pick(msg.nbytes).match_fixed(mem, msg)

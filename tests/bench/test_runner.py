@@ -129,6 +129,8 @@ def test_cache_key_distinguishes_every_spec_field(tmp_path):
         Point("PiP-MColl", "allreduce", 2, 2, 128),
         Point("PiP-MColl", "allreduce", 2, 2, 64, warmup=2),
         Point("PiP-MColl", "allreduce", 2, 2, 64, measure=3),
+        Point("PiP-MColl", "allreduce", 2, 2, 64, engine="dag"),
+        Point("PiP-MColl", "allreduce", 2, 2, 64, engine="auto"),
         Point(
             "PiP-MColl", "allreduce", 2, 2, 64,
             params=bebop_broadwell().with_overrides(
