@@ -1,14 +1,23 @@
-"""Engine speed benchmark: event loop vs DAG fast path, same points.
+"""Engine speed benchmark: event loop vs DAG fast path vs batch engine.
 
-Times ``repro.bench.microbench.run_point`` wall-clock for both engines on
-a fixed planner-backed grid, asserts the results are bit-identical, and
-records per-point and aggregate speedups in ``BENCH_fastpath.json`` at the
-repository root — the provenance for the numbers quoted in DESIGN.md.
+Times ``repro.bench.microbench.run_point`` wall-clock for both scalar
+engines on a fixed planner-backed grid, asserts the results are
+bit-identical, and records per-point and aggregate speedups in
+``BENCH_fastpath.json`` at the repository root — the provenance for the
+numbers quoted in DESIGN.md.
 
-Every rep is a complete fresh ``run_point`` call (world construction
-included); ``best-of-N`` wall times are reported because the shared CI
-boxes are noisy.  Planner ``lru_cache``s are warm after the first rep on
-both sides — the same steady state a figure sweep runs in.
+``--batch`` switches to the column benchmark: full message-size axes
+(eighth-octave, 16 B to 512 KB — 121 sizes) on representative registry
+columns, timed through the event loop (per point), the DAG engine (per
+point) and the batch engine (one ``evaluate_column`` call), with
+bit-identity asserted per (point, size).  Per-column and aggregate
+points/sec land in ``BENCH_batch.json``.
+
+Every rep is a complete fresh evaluation (world construction included);
+``best-of-N`` wall times are reported because the shared CI boxes are
+noisy.  Planner ``lru_cache``s — and, for the batch engine, the lowering
+cache — are warm after the first rep on both sides, the same steady state
+a figure sweep runs in.
 
 Usage::
 
@@ -16,6 +25,10 @@ Usage::
     python benchmarks/bench_speed.py --smoke         # CI gate: tiny grid,
                                                      # exit 1 unless the DAG
                                                      # engine is faster
+    python benchmarks/bench_speed.py --batch         # column grid -> JSON
+    python benchmarks/bench_speed.py --batch --smoke # CI gate: one column,
+                                                     # exit 1 unless batch
+                                                     # beats dag
 
 (The file matches the ``bench_*.py`` pytest glob but defines no tests; it
 is a command-line tool.)
@@ -55,6 +68,24 @@ SMOKE_GRID = (
     ("PiP-MColl", "allgather", 2, 4, 32768),
     ("PiP-MPICH", "allgather", 2, 4, 4096),
 )
+
+#: (library, collective, nodes, ppn) — the column benchmark sweeps the
+#: full size axis for each of these.  One column per registry library,
+#: plus the collective spread on the paper's own library.
+BATCH_COLUMNS = (
+    ("PiP-MColl", "scatter", 4, 8),
+    ("PiP-MColl", "allgather", 4, 8),
+    ("PiP-MColl", "allreduce", 4, 8),
+    ("PiP-MPICH", "allgather", 2, 8),
+    ("OpenMPI", "allgather", 2, 16),
+)
+
+#: eighth-octave axis, 16 B .. 512 KB — denser than any figure needs, the
+#: regime the batch engine exists for (121 sizes, one pass)
+BATCH_AXIS = tuple(sorted({int(16 * 2 ** (k / 8)) for k in range(121)}))
+
+BATCH_SMOKE_COLUMNS = (("PiP-MColl", "allgather", 2, 4),)
+BATCH_SMOKE_AXIS = tuple(sorted({int(16 * 2 ** (k / 4)) for k in range(33)}))
 
 
 def _time_point(spec, engine: str, reps: int) -> tuple[float, object]:
@@ -98,12 +129,157 @@ def run_grid(grid, reps: int):
     return rows, mismatches
 
 
+def _time_column(spec, axis, engine: str, reps: int):
+    """Best-of-``reps`` wall seconds for one full-axis column sweep."""
+    from repro.sched.batch import evaluate_column
+
+    lib, coll, nodes, ppn = spec
+    best = float("inf")
+    results = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        if engine == "batch":
+            col = evaluate_column(lib, coll, nodes, ppn, axis)
+            results = {
+                s: (r.samples, r.internode_messages)
+                for s, r in col.results.items()
+            }
+        else:
+            results = {}
+            for s in axis:
+                r = run_point(lib, coll, nodes, ppn, s, engine=engine)
+                results[s] = (r.samples, r.internode_messages)
+        best = min(best, time.perf_counter() - t0)
+    return best, results
+
+
+def run_batch_grid(columns, axis, reps: int, with_event: bool):
+    """Time every column on each engine; returns (rows, mismatch specs)."""
+    rows = []
+    mismatches = []
+    for spec in columns:
+        lib, coll, nodes, ppn = spec
+        dag_s, dag_res = _time_column(spec, axis, "dag", reps)
+        batch_s, batch_res = _time_column(spec, axis, "batch", reps)
+        bad = [s for s in axis if batch_res[s] != dag_res[s]]
+        if bad:
+            mismatches.append((spec, bad))
+        row = {
+            "library": lib,
+            "collective": coll,
+            "nodes": nodes,
+            "ppn": ppn,
+            "sizes": len(axis),
+            "dag_s": dag_s,
+            "batch_s": batch_s,
+            "batch_vs_dag": dag_s / batch_s,
+        }
+        line = (
+            f"  {lib:>15} {coll:<9} {nodes}x{ppn:<2} {len(axis)} sizes  "
+            f"dag {dag_s * 1e3:8.1f}ms  batch {batch_s * 1e3:8.1f}ms  "
+            f"{dag_s / batch_s:5.2f}x"
+        )
+        if with_event:
+            event_s, event_res = _time_column(spec, axis, "event", reps)
+            if any(event_res[s] != dag_res[s] for s in axis):
+                mismatches.append((spec, ["event-vs-dag"]))
+            row["event_s"] = event_s
+            row["batch_vs_event"] = event_s / batch_s
+            line += f"  ({event_s / batch_s:5.1f}x vs event)"
+        rows.append(row)
+        print(line, flush=True)
+    return rows, mismatches
+
+
+def run_batch_mode(args) -> int:
+    columns = BATCH_SMOKE_COLUMNS if args.smoke else BATCH_COLUMNS
+    axis = BATCH_SMOKE_AXIS if args.smoke else BATCH_AXIS
+    reps = args.reps if args.reps is not None else (2 if args.smoke else 3)
+    with_event = not args.smoke
+    print(
+        f"column speed: {len(columns)} columns x {len(axis)} sizes, "
+        f"best of {reps} reps each"
+    )
+    rows, mismatches = run_batch_grid(columns, axis, reps, with_event)
+
+    if mismatches:
+        print(f"FAIL: engines disagree on {len(mismatches)} columns:")
+        for spec, bad in mismatches:
+            print(f"  {spec}: {bad[:8]}{'...' if len(bad) > 8 else ''}")
+        return 1
+
+    npoints = sum(r["sizes"] for r in rows)
+    dag_total = sum(r["dag_s"] for r in rows)
+    batch_total = sum(r["batch_s"] for r in rows)
+    ratios = [r["batch_vs_dag"] for r in rows]
+    aggregate = {
+        "points": npoints,
+        "dag_points_per_sec": npoints / dag_total,
+        "batch_points_per_sec": npoints / batch_total,
+        "batch_vs_dag": dag_total / batch_total,
+        "per_column_min": min(ratios),
+        "per_column_median": statistics.median(ratios),
+        "per_column_max": max(ratios),
+    }
+    if with_event:
+        event_total = sum(r["event_s"] for r in rows)
+        aggregate["event_points_per_sec"] = npoints / event_total
+        aggregate["batch_vs_event"] = event_total / batch_total
+    print(
+        f"aggregate: dag {aggregate['dag_points_per_sec']:.1f} pts/s, "
+        f"batch {aggregate['batch_points_per_sec']:.1f} pts/s -> "
+        f"{aggregate['batch_vs_dag']:.2f}x vs dag "
+        f"(per-column min {aggregate['per_column_min']:.2f}x / "
+        f"median {aggregate['per_column_median']:.2f}x / "
+        f"max {aggregate['per_column_max']:.2f}x)"
+        + (
+            f"; {aggregate['batch_vs_event']:.1f}x vs event"
+            if with_event else ""
+        )
+    )
+
+    if args.smoke:
+        # same philosophy as the scalar gate: identity checked above, and
+        # a bar low enough that runner noise cannot flake the job
+        if aggregate["batch_vs_dag"] < 1.2:
+            print("FAIL: batch engine is not meaningfully faster (< 1.2x)")
+            return 1
+        print("smoke ok: engines identical, batch faster")
+        return 0
+
+    out = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+    )
+    doc = {
+        "benchmark": "batch-column-vs-scalar-engines",
+        "python": sys.version.split()[0],
+        "reps": reps,
+        "protocol": (
+            "best-of-reps wall time per column; axis = eighth-octave "
+            "16B..512KB (121 sizes); dag/event = one fresh run_point per "
+            "size, batch = one evaluate_column over the axis; bit-identical "
+            "samples and message counts asserted per (point, size)"
+        ),
+        "columns": rows,
+        "aggregate": aggregate,
+    }
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--smoke", action="store_true",
         help="tiny grid, no JSON; exit 1 unless DAG beats the event loop "
              "on aggregate and results are bit-identical (the CI gate)",
+    )
+    parser.add_argument(
+        "--batch", action="store_true",
+        help="column benchmark: full size axes, event vs dag vs batch, "
+             "-> BENCH_batch.json (with --smoke: one small column, exit 1 "
+             "unless batch beats dag)",
     )
     parser.add_argument(
         "--reps", type=int, default=None,
@@ -115,6 +291,9 @@ def main(argv=None) -> int:
         help="output JSON path (default: BENCH_fastpath.json at repo root)",
     )
     args = parser.parse_args(argv)
+
+    if args.batch:
+        return run_batch_mode(args)
 
     grid = SMOKE_GRID if args.smoke else GRID
     reps = args.reps if args.reps is not None else (2 if args.smoke else 3)

@@ -40,9 +40,10 @@ COLLECTIVES = (
 )
 
 #: how a point is evaluated: the coroutine event loop (authoritative), the
-#: DAG fast path (bit-identical, planner-backed pairs only), or ``auto``
-#: (DAG whenever it applies, event loop otherwise)
-ENGINES = ("event", "dag", "auto")
+#: DAG fast path (bit-identical, planner-backed pairs only), the batch
+#: engine (bit-identical, whole size columns vectorized), or ``auto``
+#: (DAG/batch whenever they apply, event loop otherwise)
+ENGINES = ("event", "dag", "batch", "auto")
 
 
 def resolve_engine(
@@ -52,8 +53,10 @@ def resolve_engine(
 
     ``auto`` picks the DAG fast path exactly when the (library, collective)
     pair is planner-backed and no tracer is attached (phantom data is
-    implied: :func:`run_point` worlds are always phantom).  The result is
-    always ``"event"`` or ``"dag"``.
+    implied: :func:`run_point` worlds are always phantom).  For a *single*
+    point the result is always ``"event"`` or ``"dag"``; the sweep runner
+    upgrades ``auto`` columns to the batch engine itself, where the whole
+    size axis is in hand (see :mod:`repro.bench.runner.pool`).
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
@@ -191,12 +194,39 @@ def run_point(
     ``engine`` selects how the point is evaluated (see :data:`ENGINES`).
     ``"dag"`` replays the compiled schedule on the analytic fast path —
     bit-identical samples, no coroutines — and only covers planner-backed
-    pairs; it cannot trace.  ``"auto"`` degrades to the event loop instead
+    pairs; it cannot trace.  ``"batch"`` routes through the vectorized
+    column engine (:func:`repro.sched.batch.evaluate_column`) — same
+    coverage and bit-identity contract as ``"dag"``; a single point gains
+    nothing over it, the option exists so sweep drivers can thread one
+    engine name end to end.  ``"auto"`` degrades to the event loop instead
     of raising.
     """
     if measure < 1:
         raise ValueError("need at least one measured iteration")
     engine = resolve_engine(engine, library, collective, tracing=tracer is not None)
+    if engine == "batch":
+        if tracer is not None:
+            raise ValueError(
+                "engine='batch' cannot record traces; use engine='event'"
+            )
+        from repro.sched.batch import evaluate_column
+
+        col = evaluate_column(
+            library, collective, nodes, ppn, [msg_bytes],
+            params=params, warmup=warmup, measure=measure,
+            thresholds=thresholds,
+        )
+        fast = col.results[msg_bytes]
+        return MicrobenchResult(
+            library=library,
+            collective=collective,
+            nodes=nodes,
+            ppn=ppn,
+            msg_bytes=msg_bytes,
+            time=sum(fast.samples) / len(fast.samples),
+            samples=fast.samples,
+            internode_messages=fast.internode_messages,
+        )
     if engine == "dag":
         if tracer is not None:
             raise ValueError(

@@ -11,7 +11,10 @@ process pool (``--jobs``) and results are memoized in ``.bench_cache/``
 parallel/cached series are bit-identical — the determinism guarantee CI
 leans on.  ``--engine dag`` (or ``auto``) evaluates points on the analytic
 DAG fast path instead of the event loop — bit-identical results, several
-times faster on planner-backed sweeps; ``--cache-stats`` reports cache
+times faster on planner-backed sweeps; ``--engine batch`` evaluates whole
+message-size columns in one vectorized pass (bit-identical again, another
+multiple faster on dense axes; ``auto`` picks it by itself for
+planner-backed multi-size columns); ``--cache-stats`` reports cache
 hit/miss/byte counters at the end.
 
 ``--trace out.json --trace-point LIBRARY/COLLECTIVE/NBYTES`` skips the
@@ -76,8 +79,11 @@ def main(argv=None) -> int:
         "--engine", default=None, choices=ENGINES,
         help="evaluation engine for every point: the coroutine event loop "
              "(authoritative), the DAG fast path (bit-identical, "
-             "planner-backed pairs only), or auto (DAG where it applies); "
-             "default: PIPMCOLL_ENGINE or each point's own setting",
+             "planner-backed pairs only), batch (bit-identical; whole "
+             "size columns in one vectorized pass), or auto (batch for "
+             "planner-backed multi-size columns, DAG for the rest of its "
+             "coverage); default: PIPMCOLL_ENGINE or each point's own "
+             "setting",
     )
     parser.add_argument(
         "--progress", action="store_true",

@@ -8,6 +8,15 @@ where ``key`` is a SHA-256 over a canonical JSON encoding of
 * the point spec (library, collective, shape, size), and
 * the warm-up/measure protocol.
 
+Column sweeps additionally use a *column store* under
+``<root>/columns/<key[:2]>/<key>.json``: one JSON document per column
+(the point spec with ``msg_bytes`` removed), mapping message size to the
+same result schema.  :meth:`ResultCache.get_many` /
+:meth:`ResultCache.put_many` touch that one file once per call, so a
+60-size column costs one read and one write instead of 120 file
+operations — the I/O analogue of the batch engine evaluating the column
+in one pass.
+
 The simulator is deterministic, so a hit is exact — bit-identical to
 recomputation under the same version.  The key does **not** hash source
 code: re-running a figure after an unrelated code change is the use case.
@@ -16,7 +25,9 @@ If you changed simulation-relevant code without bumping the version, pass
 
 Writes are atomic (tmp file + ``os.replace``) so concurrent pool workers
 and parallel pytest runs can share one cache directory; corrupted or
-unreadable entries are treated as misses and removed.
+unreadable entries are treated as misses and removed.  Column writes
+merge into the existing document before replacing it, so two sweeps over
+different axes of the same column both land.
 """
 
 from __future__ import annotations
@@ -26,13 +37,13 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import repro
 from repro.bench.microbench import MicrobenchResult
 from repro.bench.runner.points import Point
 
-__all__ = ["ResultCache", "cache_key", "default_cache_dir"]
+__all__ = ["ResultCache", "cache_key", "column_key", "default_cache_dir"]
 
 _ENV_DIR = "PIPMCOLL_CACHE_DIR"
 _DEFAULT_DIR = ".bench_cache"
@@ -47,6 +58,63 @@ def cache_key(point: Point) -> str:
     payload = {"version": repro.__version__, "point": point.spec_dict()}
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def column_key(point: Point) -> str:
+    """Stable content hash identifying a point's *column*.
+
+    The column is the point spec with ``msg_bytes`` removed: every size
+    along one figure curve shares it.  Engine, thresholds, params and the
+    protocol all stay in the key, so the column store aliases exactly as
+    much as the per-point store does — nothing.
+    """
+    spec = point.spec_dict()
+    del spec["msg_bytes"]
+    payload = {"version": repro.__version__, "column": spec}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _result_doc(result: MicrobenchResult) -> dict:
+    return {
+        "library": result.library,
+        "collective": result.collective,
+        "nodes": result.nodes,
+        "ppn": result.ppn,
+        "msg_bytes": result.msg_bytes,
+        "time": result.time,
+        "samples": list(result.samples),
+        "internode_messages": result.internode_messages,
+    }
+
+
+def _result_from_doc(doc: dict) -> MicrobenchResult:
+    return MicrobenchResult(
+        library=doc["library"],
+        collective=doc["collective"],
+        nodes=doc["nodes"],
+        ppn=doc["ppn"],
+        msg_bytes=doc["msg_bytes"],
+        time=doc["time"],
+        samples=tuple(doc["samples"]),
+        internode_messages=doc["internode_messages"],
+    )
+
+
+def _atomic_write(path: Path, encoded: bytes) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name,
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(encoded)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 class ResultCache:
@@ -75,22 +143,15 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _column_path(self, key: str) -> Path:
+        return self.root / "columns" / key[:2] / f"{key}.json"
+
     def get(self, point: Point) -> Optional[MicrobenchResult]:
         """The cached result for ``point``, or ``None`` on a miss."""
         path = self._path(cache_key(point))
         try:
             raw = path.read_bytes()
-            doc = json.loads(raw)
-            result = MicrobenchResult(
-                library=doc["library"],
-                collective=doc["collective"],
-                nodes=doc["nodes"],
-                ppn=doc["ppn"],
-                msg_bytes=doc["msg_bytes"],
-                time=doc["time"],
-                samples=tuple(doc["samples"]),
-                internode_messages=doc["internode_messages"],
-            )
+            result = _result_from_doc(json.loads(raw))
         except FileNotFoundError:
             self.misses += 1
             return None
@@ -109,37 +170,94 @@ class ResultCache:
     def put(self, point: Point, result: MicrobenchResult) -> None:
         """Store ``result`` atomically (safe under concurrent writers)."""
         path = self._path(cache_key(point))
-        path.parent.mkdir(parents=True, exist_ok=True)
-        doc = {
-            "version": repro.__version__,
-            "library": result.library,
-            "collective": result.collective,
-            "nodes": result.nodes,
-            "ppn": result.ppn,
-            "msg_bytes": result.msg_bytes,
-            "time": result.time,
-            "samples": list(result.samples),
-            "internode_messages": result.internode_messages,
-        }
+        doc = {"version": repro.__version__, **_result_doc(result)}
         encoded = json.dumps(doc, separators=(",", ":")).encode("utf-8")
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name, suffix=".tmp"
-        )
+        _atomic_write(path, encoded)
+        self.stores += 1
+        self.bytes_written += len(encoded)
+
+    # -- column (bulk) interface ----------------------------------------
+
+    def _read_column(self, path: Path) -> Optional[dict]:
+        """The column document at ``path``, or ``None`` (bad file → drop)."""
         try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(encoded)
-            os.replace(tmp, path)
-            self.stores += 1
-            self.bytes_written += len(encoded)
-        except BaseException:
+            raw = path.read_bytes()
+            doc = json.loads(raw)
+            entries = doc["entries"]
+            if not isinstance(entries, dict):
+                raise TypeError("column entries must be an object")
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
             try:
-                os.unlink(tmp)
+                path.unlink()
             except OSError:
                 pass
-            raise
+            return None
+        self.bytes_read += len(raw)
+        return entries
+
+    def get_many(
+        self, points: Sequence[Point]
+    ) -> List[Optional[MicrobenchResult]]:
+        """Cached results for ``points``, one column file read per column.
+
+        Points may span several columns; each distinct column document is
+        read at most once.  Per-point hit/miss accounting matches what a
+        :meth:`get` loop would record; ``bytes_read`` counts each column
+        file once.  A point whose entry is absent or malformed is a miss.
+        """
+        docs: dict = {}
+        out: List[Optional[MicrobenchResult]] = []
+        for point in points:
+            key = column_key(point)
+            if key not in docs:
+                docs[key] = self._read_column(self._column_path(key))
+            entries = docs[key]
+            result = None
+            if entries is not None:
+                doc = entries.get(str(point.msg_bytes))
+                if doc is not None:
+                    try:
+                        result = _result_from_doc(doc)
+                    except (ValueError, KeyError, TypeError):
+                        result = None
+            if result is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            out.append(result)
+        return out
+
+    def put_many(
+        self, points: Sequence[Point], results: Sequence[MicrobenchResult]
+    ) -> None:
+        """Store results, one merged column file write per column.
+
+        Merges into the existing document (read once per column) before
+        the atomic replace, so sweeps over different axes of the same
+        column accumulate instead of clobbering each other.
+        """
+        if len(points) != len(results):
+            raise ValueError(
+                f"{len(points)} points but {len(results)} results"
+            )
+        by_col: dict = {}
+        for point, result in zip(points, results):
+            by_col.setdefault(column_key(point), []).append((point, result))
+        for key, pairs in by_col.items():
+            path = self._column_path(key)
+            entries = self._read_column(path) or {}
+            for point, result in pairs:
+                entries[str(point.msg_bytes)] = _result_doc(result)
+                self.stores += 1
+            doc = {"version": repro.__version__, "entries": entries}
+            encoded = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+            _atomic_write(path, encoded)
+            self.bytes_written += len(encoded)
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (point and column); returns files removed."""
         removed = 0
         if not self.root.exists():
             return 0
@@ -149,7 +267,25 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        for entry in self.root.glob("columns/*/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
         return removed
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json")) if self.root.exists() else 0
+        """Point entries plus column entries (not files) on disk."""
+        if not self.root.exists():
+            return 0
+        # point files sit at <k2>/<key>.json; column files one level deeper
+        # under columns/, so the first glob cannot double-count them
+        n = sum(1 for _ in self.root.glob("*/*.json"))
+        for path in self.root.glob("columns/*/*.json"):
+            try:
+                doc = json.loads(path.read_bytes())
+                n += len(doc["entries"])
+            except (OSError, ValueError, KeyError, TypeError):
+                pass
+        return n

@@ -6,6 +6,18 @@ ships point specs (not worlds — specs pickle in ~200 bytes) to a
 ``multiprocessing`` pool and reassembles results in submission order.
 Serial, parallel, and cache-hit execution are bit-identical by
 construction; ``tests/bench/test_runner.py`` enforces it.
+
+Points bound for the batch engine take a different route through the same
+machinery: the runner groups them into *columns* — points identical except
+for ``msg_bytes`` — and ships each column as one work unit
+(:func:`run_sweep_column`), which evaluates the whole size axis in one
+vectorized pass (:func:`repro.sched.batch.evaluate_column`) and reads and
+writes the result cache one column file at a time
+(:meth:`~repro.bench.runner.cache.ResultCache.get_many` /
+:meth:`~repro.bench.runner.cache.ResultCache.put_many`).  ``auto`` points
+upgrade to the column route automatically when the pair is planner-backed
+and the column has at least two sizes; the batch engine's bit-identity
+contract makes the upgrade invisible in the results.
 """
 
 from __future__ import annotations
@@ -13,13 +25,17 @@ from __future__ import annotations
 import os
 import sys
 from dataclasses import replace
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.microbench import ENGINES, MicrobenchResult, run_point
 from repro.bench.runner.cache import ResultCache
 from repro.bench.runner.points import Point
+from repro.sched.fastpath import fastpath_supported
 
-__all__ = ["SweepRunner", "default_runner", "run_points", "run_point_spec"]
+__all__ = [
+    "SweepRunner", "default_runner", "run_points", "run_point_spec",
+    "run_sweep_column",
+]
 
 _ENV_JOBS = "PIPMCOLL_JOBS"
 _ENV_CACHE = "PIPMCOLL_CACHE"
@@ -49,6 +65,56 @@ def run_point_spec(point: Point) -> MicrobenchResult:
         measure=point.measure,
         thresholds=point.thresholds,
         engine=point.engine,
+    )
+
+
+def run_sweep_column(points: Sequence[Point]) -> List[MicrobenchResult]:
+    """Pool worker: evaluate one column of points in a single batch pass.
+
+    ``points`` must agree on everything but ``msg_bytes`` (the runner's
+    grouping guarantees it).  Results come back in ``points`` order and
+    are bit-identical to running each point on the DAG engine — the batch
+    engine's contract (see :mod:`repro.sched.batch`).  Top-level for the
+    same pickling reason as :func:`run_point_spec`.
+    """
+    from repro.sched.batch import evaluate_column
+
+    first = points[0]
+    col = evaluate_column(
+        first.library,
+        first.collective,
+        first.nodes,
+        first.ppn,
+        [p.msg_bytes for p in points],
+        params=first.params,
+        warmup=first.warmup,
+        measure=first.measure,
+        thresholds=first.thresholds,
+    )
+    out: List[MicrobenchResult] = []
+    for p in points:
+        fast = col.results[p.msg_bytes]
+        out.append(
+            MicrobenchResult(
+                library=p.library,
+                collective=p.collective,
+                nodes=p.nodes,
+                ppn=p.ppn,
+                msg_bytes=p.msg_bytes,
+                time=sum(fast.samples) / len(fast.samples),
+                samples=fast.samples,
+                internode_messages=fast.internode_messages,
+            )
+        )
+    return out
+
+
+def _column_group_key(point: Point) -> Tuple:
+    """Hashable identity of a point's column (everything but the size)."""
+    return (
+        point.library, point.collective, point.nodes, point.ppn,
+        point.warmup, point.measure, point.params, point.thresholds,
+        point.engine,
     )
 
 
@@ -95,7 +161,8 @@ class SweepRunner:
         ``PIPMCOLL_PROGRESS`` and, when set, prints to stderr.
     engine:
         Force every point onto one evaluation engine (``"event"``,
-        ``"dag"`` or ``"auto"``); ``None`` reads ``PIPMCOLL_ENGINE`` and,
+        ``"dag"``, ``"batch"`` or ``"auto"``); ``None`` reads
+        ``PIPMCOLL_ENGINE`` and,
         when that is unset too, leaves each point's own ``engine`` field
         alone.  The override rewrites the points before the cache pass, so
         it is part of the cache key like any other spec field.
@@ -127,6 +194,32 @@ class SweepRunner:
 
     # -- execution -------------------------------------------------------
 
+    def _column_indices(
+        self, points: Sequence[Point]
+    ) -> Dict[Tuple, List[int]]:
+        """Indices of column-routed points, grouped by column.
+
+        A point rides a column when its engine is ``"batch"`` explicitly,
+        or when it is ``"auto"``, the pair is planner-backed, and at least
+        one other point shares its column with a different size — the
+        regime where the vectorized pass pays for itself.  Sweeps are
+        grouped before any evaluation, so a column is lowered once no
+        matter how many sizes it spans (the pool warm start).
+        """
+        groups: Dict[Tuple, List[int]] = {}
+        for i, p in enumerate(points):
+            if p.engine == "batch" or (
+                p.engine == "auto"
+                and fastpath_supported(p.library, p.collective)
+            ):
+                groups.setdefault(_column_group_key(p), []).append(i)
+        return {
+            key: idxs
+            for key, idxs in groups.items()
+            if points[idxs[0]].engine == "batch"
+            or len({points[i].msg_bytes for i in idxs}) > 1
+        }
+
     def run(self, points: Sequence[Point]) -> List[MicrobenchResult]:
         """Execute ``points``; results come back in submission order."""
         if self.engine is not None:
@@ -138,14 +231,31 @@ class SweepRunner:
         results: List[Optional[MicrobenchResult]] = [None] * total
         done = 0
 
-        # 1. cache pass
+        col_groups = self._column_indices(points)
+        col_member = {i for idxs in col_groups.values() for i in idxs}
+
+        # 1. cache pass — point files for point-routed work, one column
+        # file per column for the rest
         pending: List[int] = []
-        for i, point in enumerate(points):
-            hit = (
-                self.cache.get(point)
-                if self.use_cache and not self.refresh
-                else None
+        col_pending: Dict[Tuple, List[int]] = {}
+        consult = self.use_cache and not self.refresh
+        for key, idxs in col_groups.items():
+            hits = (
+                self.cache.get_many([points[i] for i in idxs])
+                if consult else [None] * len(idxs)
             )
+            for i, hit in zip(idxs, hits):
+                if hit is not None:
+                    results[i] = hit
+                    done += 1
+                    if self.progress:
+                        self.progress(done, total, points[i], "cache")
+                else:
+                    col_pending.setdefault(key, []).append(i)
+        for i, point in enumerate(points):
+            if i in col_member:
+                continue
+            hit = self.cache.get(point) if consult else None
             if hit is not None:
                 results[i] = hit
                 done += 1
@@ -154,10 +264,12 @@ class SweepRunner:
             else:
                 pending.append(i)
 
-        # 2. compute misses (pool or serial)
+        # 2. compute misses (pool or serial); each column is one work unit
         if pending:
             if self.jobs > 1 and len(pending) > 1:
-                computed = self._run_pool([points[i] for i in pending])
+                computed = self._map_pool(
+                    run_point_spec, [points[i] for i in pending]
+                )
             else:
                 computed = map(run_point_spec, (points[i] for i in pending))
             for i, result in zip(pending, computed):
@@ -167,22 +279,39 @@ class SweepRunner:
                 done += 1
                 if self.progress:
                     self.progress(done, total, points[i], "run")
+        if col_pending:
+            groups = [[points[i] for i in idxs]
+                      for idxs in col_pending.values()]
+            if self.jobs > 1 and len(groups) > 1:
+                computed_cols = self._map_pool(run_sweep_column, groups)
+            else:
+                computed_cols = map(run_sweep_column, groups)
+            for idxs, group, col_results in zip(
+                col_pending.values(), groups, computed_cols
+            ):
+                if self.use_cache:
+                    self.cache.put_many(group, col_results)
+                for i, result in zip(idxs, col_results):
+                    results[i] = result
+                    done += 1
+                    if self.progress:
+                        self.progress(done, total, points[i], "run")
 
         return results  # type: ignore[return-value]
 
-    def _run_pool(self, points: List[Point]) -> List[MicrobenchResult]:
+    def _map_pool(self, fn, items: List) -> List:
         import multiprocessing as mp
 
         # fork (where available) inherits the warm interpreter: no
-        # re-import of numpy/repro per worker, and run_point pickles by name
+        # re-import of numpy/repro per worker, and workers pickle by name
         method = "fork" if "fork" in mp.get_all_start_methods() else None
         ctx = mp.get_context(method)
-        workers = min(self.jobs, len(points))
+        workers = min(self.jobs, len(items))
         # modest chunking keeps scheduling overhead low on big sweeps while
         # still load-balancing the heavy large-message points
-        chunksize = max(1, len(points) // (workers * 4))
+        chunksize = max(1, len(items) // (workers * 4))
         with ctx.Pool(processes=workers) as pool:
-            return pool.map(run_point_spec, points, chunksize=chunksize)
+            return pool.map(fn, items, chunksize=chunksize)
 
 
 def default_runner(**overrides) -> SweepRunner:

@@ -195,7 +195,15 @@ def planner_cache_info() -> Dict[str, "object"]:
         plan_allgather_recursive_doubling,
         plan_allgather_ring,
     )
-    return {fn.__name__: fn.cache_info() for fn in planners}
+    info = {fn.__name__: fn.cache_info() for fn in planners}
+    # the batch engine's lowering cache is the same kind of animal — one
+    # compiled artifact per structural signature, re-use counted — so it
+    # reports through the same window (lazy import: the registry must not
+    # pull in the engine stack)
+    from repro.sched.batch import lowering_cache_info
+
+    info["batch_lowering"] = lowering_cache_info()
+    return info
 
 
 def registry_combinations() -> List[Tuple[str, str]]:

@@ -1,0 +1,324 @@
+"""A vector-valued timeline for batched (whole-size-axis) evaluation.
+
+:class:`BatchTimeline` is :class:`repro.sim.timeline.Timeline` with the
+clock widened from one float to a numpy vector over the message-size axis:
+every scheduled callback carries an ``(S,)`` array of fire times, one per
+size in the current partition, and the queues are ordered by the *pivot*
+size (index 0).  One dispatch of the batch engine therefore advances all
+``S`` simulations at once — the per-event Python dispatch that caps the
+scalar DAG engine (see DESIGN.md section 2) is paid once per event instead
+of once per (event, size).
+
+Correctness rests on a conflict-equivalence argument, not on per-size
+replay.  The pivot size is simulated *exactly* (its component of every
+time vector is the scalar arithmetic of the DAG engine, and the queues are
+ordered by it).  For every other size ``s`` the dispatch order is the
+pivot's; that is harmless as long as it is **conflict-equivalent** to the
+order size ``s``'s own scalar run would use:
+
+* every mutable piece of simulation state is owned by exactly one
+  *resource* — a process's NIC injection lane, a node's transmit or
+  receive pipeline, a node's memory-lane pool, one ``(dst, src, tag)``
+  match queue, one request object, a board or counter key, a buffer's
+  warm-fault state.  Dispatches record which resources they touch via
+  :meth:`BatchTimeline.touch`;
+* a dispatch's outputs depend only on its inputs and on the access order
+  of the resources it touches.  Two executions that perform the same
+  per-resource access sequences therefore compute identical values — the
+  standard conflict-serializability argument, applied to a deterministic
+  simulator;
+* after the run, :meth:`BatchTimeline.order_divergence` checks, for every
+  resource and every adjacent pair of accesses from *different* pops, that
+  the two pops are ordered the same way size ``s``'s scalar run would
+  order them (by fire time; ties by the scalar engine's push sequence,
+  reconstructed from the recorded push parents — see below).  Sizes with
+  any conflicting inversion are flagged *divergent* and re-evaluated on
+  the scalar DAG engine.  No result computed under a non-equivalent order
+  is ever reported.
+
+Tie adjudication.  The scalar engines break equal-time heap entries by
+push sequence number, and push order is itself execution-order dependent,
+so the batch run cannot just reuse its own seq numbers for other sizes.
+It can, however, *reconstruct* the scalar order: each heap entry records
+the pop during whose dispatch segment it was pushed (its *parent*; -1 for
+the per-iteration root pushes).  In the scalar run at ``s``, entry ``a``
+was pushed before entry ``b`` iff ``a``'s parent pop dispatched before
+``b``'s (recursively, by fire time at ``s``, then parents), with fixed
+push order inside one segment and roots pushed first.  The comparison
+recurses through strictly earlier pops, is memoised, and is capped: if a
+pathological run exceeds the work bound, the affected ties are simply
+declared divergent (conservative, never unsound).
+
+Two deliberate non-resources.  Buffer ids (the ``_OP_ALLOC`` sequence)
+are opaque keys: a run that interleaves allocations differently assigns
+ids by a *bijective renaming*, and renamed keys index the same warm-state
+sets, so alloc-order inversions cannot change any computed time and the
+id sequence is not tracked.  Data handed from one dispatch to another
+(e.g. message fields written before a queue append and read after the
+pop) is ordered *transitively*: each scalar order is a total order, so
+verifying every directly-shared resource pairwise already pins every
+mediated write-before-read.
+
+Branches on message size (eager/rendezvous protocol choice, hybrid
+intranode mechanisms, warm/cold fault state) cannot be captured by an
+order check because they change *which* callbacks run.  Cost closures and
+the batch interpreter therefore verify that every size-dependent predicate
+is uniform across the partition and raise :class:`BatchDivergence` with
+the offending mask otherwise; the batch engine splits the partition at
+that boundary and retries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, List
+
+import numpy as np
+
+__all__ = ["BatchDivergence", "BatchTimeline", "BatchEvent"]
+
+
+class BatchDivergence(Exception):
+    """A size-dependent branch split the current partition.
+
+    ``mask`` is a boolean ``(S,)`` array over the partition's size axis,
+    marking the sizes that took the branch the pivot did not (or, for
+    symmetric predicates, one side of the split — the batch engine only
+    needs the two subsets).  Raised only for genuinely mixed masks.
+    """
+
+    def __init__(self, mask: np.ndarray):
+        super().__init__("size-dependent branch is not uniform")
+        self.mask = mask
+
+
+class BatchTimeline:
+    """A :class:`~repro.sim.timeline.Timeline` over a vector clock.
+
+    Heap entries are ``(pivot_time, seq, fn, value, time_vec, parent)``;
+    ``now`` is the ``(S,)`` fire-time vector of the entry being
+    dispatched.  Ties at equal pivot time resolve by ``seq`` exactly like
+    the scalar engines.  Every pop is recorded, and resource accesses are
+    logged against the current pop, for the end-of-run conflict check.
+    """
+
+    __slots__ = ("width", "now", "_heap", "_ready", "_seq",
+                 "_pop_times", "_pop_seqs", "_pop_epochs", "_pop_pars",
+                 "_res", "_cur", "_epoch", "_epoch_start")
+
+    def __init__(self, width: int):
+        self.width = width
+        self.now: np.ndarray = np.zeros(width)
+        self._heap: list = []
+        self._ready: deque = deque()
+        self._seq = 0
+        self._pop_times: list = []
+        self._pop_seqs: list = []
+        self._pop_epochs: list = []
+        #: per pop: index of the pop during whose segment it was pushed
+        self._pop_pars: list = []
+        #: resource key -> ordered list of accessing pop indices
+        self._res: Dict[Any, List[int]] = {}
+        #: pop whose dispatch segment is currently executing (-1 = root)
+        self._cur = -1
+        self._epoch = 0
+        self._epoch_start = 0
+
+    def new_epoch(self) -> None:
+        """Mark an iteration boundary (a full drain separates epochs)."""
+        self._epoch += 1
+        self._cur = -1
+        self._epoch_start = len(self._pop_times)
+
+    def call(self, time: np.ndarray, fn: Callable[[Any], None],
+             value: Any = None) -> None:
+        """Schedule ``fn(value)`` at the absolute time vector ``time``.
+
+        ``time`` must be an ``(S,)`` array and must not be mutated after
+        scheduling (the cost closures always build fresh arrays).
+        """
+        self._seq += 1
+        heappush(self._heap, (time[0], self._seq, fn, value, time,
+                              self._cur))
+
+    def defer(self, fn: Callable[[Any], None], value: Any = None) -> None:
+        """Run ``fn(value)`` at the current time, after already-ready work."""
+        self._ready.append((fn, value))
+
+    def touch(self, key) -> None:
+        """Record that the current dispatch segment accessed resource
+        ``key``; consecutive touches by the same segment collapse."""
+        res = self._res
+        lst = res.get(key)
+        if lst is None:
+            res[key] = [self._cur]
+        elif lst[-1] != self._cur:
+            lst.append(self._cur)
+
+    def run(self) -> np.ndarray:
+        """Dispatch until both queues drain; returns the final time vector.
+
+        Mirrors ``Timeline.run``: the ready deque is drained completely
+        before each single heap pop.  Ready callbacks execute inside the
+        segment of the pop that (transitively) appended them, so their
+        resource touches anchor to that pop.
+        """
+        heap = self._heap
+        ready = self._ready
+        pop = heappop
+        pop_times = self._pop_times
+        pop_seqs = self._pop_seqs
+        pop_epochs = self._pop_epochs
+        pop_pars = self._pop_pars
+        epoch = self._epoch
+        while heap or ready:
+            while ready:
+                fn, value = ready.popleft()
+                fn(value)
+            if not heap:
+                break
+            entry = pop(heap)
+            tvec = entry[4]
+            self.now = tvec
+            self._cur = len(pop_times)
+            pop_times.append(tvec)
+            pop_seqs.append(entry[1])
+            pop_epochs.append(epoch)
+            pop_pars.append(entry[5])
+            entry[2](entry[3])
+        # a scalar run ends at its own latest pop time, and which pop is
+        # latest varies with size; the epoch's final clock must therefore
+        # be the elementwise max over the epoch's pops, not the pivot-order
+        # last pop's vector — it seeds the next iteration's start and any
+        # per-size skew there leaks into carried resource state
+        seg = pop_times[self._epoch_start:]
+        if seg:
+            self.now = np.max(np.asarray(seg), axis=0)
+        return self.now
+
+    def order_divergence(self) -> np.ndarray:
+        """Per-size conflict-divergence mask over everything dispatched.
+
+        ``divergent[s]`` is True when some resource was accessed by two
+        pops in an order different from the one size ``s``'s own scalar
+        run would have used — i.e. the batch dispatch order is *not*
+        conflict-equivalent to ``s``'s scalar order, so ``s``'s results
+        must be recomputed on the scalar engine.  The pivot (index 0) is
+        never divergent: the queues are ordered by it.
+        """
+        npops = len(self._pop_times)
+        div = np.zeros(self.width, dtype=bool)
+        if npops < 2 or not self._res:
+            return div
+        times = self._pop_times
+        seqs = self._pop_seqs
+        epochs = self._pop_epochs
+        pars = self._pop_pars
+        # collect the distinct in-epoch conflict pairs (batch ran i, then j)
+        pairs = set()
+        add = pairs.add
+        for accesses in self._res.values():
+            i = accesses[0]
+            for j in accesses[1:]:
+                if (
+                    j != i and j != -1 and i != -1
+                    and epochs[i] == epochs[j]
+                ):
+                    add((i, j))
+                i = j
+        if not pairs:
+            return div
+        # bulk pass: a pair where j fires strictly before i at size s is an
+        # inversion; ties need the push-order tie-break and are rare enough
+        # to adjudicate pair by pair
+        n = len(pairs)
+        idx = np.fromiter(
+            (k for ij in pairs for k in ij), np.int64, 2 * n
+        ).reshape(n, 2)
+        tmat = np.asarray(times)
+        ti = tmat[idx[:, 0]]
+        tj = tmat[idx[:, 1]]
+        np.logical_or.reduce(tj < ti, axis=0, out=div)
+        ties = ti == tj
+        tie_rows = np.nonzero(ties.any(axis=1))[0]
+        if not len(tie_rows):
+            return div
+        # memoised "pop i dispatches before pop j at size s" masks; the
+        # budget caps pathological tie chains (excess ties are simply
+        # declared divergent, which is conservative, never unsound)
+        memo: Dict = {}
+        budget = max(4096, 8 * npops)
+
+        def precedes(i: int, j: int) -> np.ndarray:
+            """(S,) mask: pop ``i`` dispatches before pop ``j`` in the
+            scalar run — by fire time, ties by reconstructed push order."""
+            got = memo.get((i, j))
+            if got is not None:
+                return got
+            ti, tj = times[i], times[j]
+            out = ti < tj
+            tie = ti == tj
+            if tie.any() and len(memo) < budget:
+                out = out | (tie & _push_order(i, j))
+            memo[(i, j)] = out
+            return out
+
+        def _push_order(i: int, j: int) -> bool | np.ndarray:
+            """Whether pop ``i``'s entry was pushed before pop ``j``'s in
+            the scalar run (the seq tie-break, reconstructed)."""
+            pi, pj = pars[i], pars[j]
+            if pi == pj:
+                # same segment: push order is code order, same in both
+                return seqs[i] < seqs[j]
+            if pi == j:
+                return False  # i was pushed during j's segment
+            if pj == i:
+                return True
+            if pi == -1:
+                return True  # roots are pushed before any segment runs
+            if pj == -1:
+                return False
+            return precedes(pi, pj)
+
+        for r in tie_rows:
+            i = int(idx[r, 0])
+            j = int(idx[r, 1])
+            tie = ties[r]
+            order_ok = tie & _push_order(i, j)
+            div |= tie & ~order_ok
+        return div
+
+
+class BatchEvent:
+    """One-shot event with the engine's trigger ordering (vector clock).
+
+    Identical to :class:`~repro.sim.timeline.TimelineEvent` — waiters are
+    appended to the ready deque in registration order at trigger time, and
+    waiting on an already-triggered event defers the callback — because
+    trigger semantics carry no times at all.
+    """
+
+    __slots__ = ("_tl", "triggered", "value", "_waiters")
+
+    def __init__(self, tl: BatchTimeline):
+        self._tl = tl
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: list = []
+
+    def wait(self, fn: Callable[[Any], None]) -> None:
+        if self.triggered:
+            self._tl._ready.append((fn, self.value))
+        else:
+            self._waiters.append(fn)
+
+    def trigger(self, value: Any = None) -> None:
+        self.triggered = True
+        self.value = value
+        waiters = self._waiters
+        if waiters:
+            ready = self._tl._ready
+            for fn in waiters:
+                ready.append((fn, value))
+            self._waiters = []

@@ -20,7 +20,8 @@ from repro.bench.runner import (
     expand_sweep,
     run_points,
 )
-from repro.bench.runner.pool import run_point_spec
+from repro.bench.runner.cache import column_key
+from repro.bench.runner.pool import run_point_spec, run_sweep_column
 from repro.core.tuning import Thresholds
 from repro.hw.params import bebop_broadwell
 
@@ -257,6 +258,163 @@ def test_worker_function_pickles_by_qualified_name():
     # multiprocessing pickles the callable itself; it must stay top-level
     fn = pickle.loads(pickle.dumps(run_point_spec))
     assert fn is run_point_spec
+
+
+# -- column routing: the batch engine through the runner ------------------
+
+#: one batch column: 4 sizes of one (library, collective, shape)
+COLUMN_POINTS = [
+    Point("PiP-MColl", "allgather", 2, 2, s, engine="batch")
+    for s in (64, 1024, 16384, 65536)
+]
+
+
+def _dag_reference(points):
+    return [
+        run_point(p.library, p.collective, p.nodes, p.ppn, p.msg_bytes,
+                  warmup=p.warmup, measure=p.measure, engine="dag")
+        for p in points
+    ]
+
+
+def test_batch_column_through_runner_identical_to_dag(tmp_path):
+    got = SweepRunner(jobs=1, use_cache=False).run(COLUMN_POINTS)
+    for g, ref in zip(got, _dag_reference(COLUMN_POINTS)):
+        assert g.samples == ref.samples
+        assert g.internode_messages == ref.internode_messages
+
+
+def test_auto_upgrades_multi_size_columns_and_stays_identical(tmp_path):
+    pts = expand_sweep(
+        "allgather", [64, 1024, 16384], ["PiP-MColl", "PiP-MPICH"],
+        nodes=2, ppn=2, engine="auto",
+    )
+    cache = _cache(tmp_path)
+    got = SweepRunner(jobs=1, use_cache=True, cache=cache).run(pts)
+    for g, ref in zip(got, _dag_reference(pts)):
+        assert g.samples == ref.samples
+    # the upgrade routed the points through the column store: one file
+    # per (library) column, no per-point files
+    assert sorted((cache.root / "columns").glob("*/*.json"))
+    assert not [
+        p for p in cache.root.glob("*/*.json")
+        if p.parent.name != "columns"
+    ]
+    # and a rerun is pure column hits
+    again = SweepRunner(jobs=1, use_cache=True, cache=cache).run(pts)
+    assert again == got
+    assert cache.hits == len(pts)
+
+
+def test_single_size_auto_point_stays_point_routed(tmp_path):
+    cache = _cache(tmp_path)
+    point = Point("PiP-MColl", "allgather", 2, 2, 1024, engine="auto")
+    SweepRunner(jobs=1, use_cache=True, cache=cache).run([point])
+    assert not (cache.root / "columns").exists()
+    assert len(cache) == 1
+
+
+def test_parallel_column_execution_identical(tmp_path):
+    pts = COLUMN_POINTS + [
+        Point("PiP-MPICH", "allgather", 2, 2, s, engine="batch")
+        for s in (64, 1024)
+    ]
+    serial = SweepRunner(jobs=1, use_cache=False).run(pts)
+    parallel = SweepRunner(jobs=2, use_cache=False).run(pts)
+    assert serial == parallel
+
+
+def test_get_many_put_many_round_trip_and_accounting(tmp_path):
+    cache = _cache(tmp_path)
+    results = run_sweep_column(COLUMN_POINTS)
+    cache.put_many(COLUMN_POINTS, results)
+    assert cache.stores == len(COLUMN_POINTS)
+    assert cache.bytes_written > 0
+    # one column -> exactly one file on disk
+    assert len(list((cache.root / "columns").glob("*/*.json"))) == 1
+    assert len(cache) == len(COLUMN_POINTS)
+    back = cache.get_many(COLUMN_POINTS)
+    assert back == results
+    assert cache.hits == len(COLUMN_POINTS)
+    read_after_hits = cache.bytes_read
+    assert read_after_hits > 0
+    # a fresh cache object reads the same entries back from disk
+    fresh = ResultCache(cache.root)
+    assert fresh.get_many(COLUMN_POINTS) == results
+
+
+def test_put_many_merges_instead_of_clobbering(tmp_path):
+    cache = _cache(tmp_path)
+    first, rest = COLUMN_POINTS[:2], COLUMN_POINTS[2:]
+    results = run_sweep_column(COLUMN_POINTS)
+    cache.put_many(first, results[:2])
+    cache.put_many(rest, results[2:])
+    assert cache.get_many(COLUMN_POINTS) == results
+    assert len(list((cache.root / "columns").glob("*/*.json"))) == 1
+
+
+def test_corrupted_column_file_is_dropped_and_missed(tmp_path):
+    cache = _cache(tmp_path)
+    results = run_sweep_column(COLUMN_POINTS)
+    cache.put_many(COLUMN_POINTS, results)
+    path = next((cache.root / "columns").glob("*/*.json"))
+    path.write_text("{ not json")
+    assert cache.get_many(COLUMN_POINTS) == [None] * len(COLUMN_POINTS)
+    assert cache.misses == len(COLUMN_POINTS)
+    assert not path.exists()
+
+
+def test_put_many_rejects_length_mismatch(tmp_path):
+    with pytest.raises(ValueError, match="points"):
+        _cache(tmp_path).put_many(COLUMN_POINTS, [])
+
+
+def test_column_key_groups_by_everything_but_size():
+    a, b = COLUMN_POINTS[0], COLUMN_POINTS[1]
+    assert a.msg_bytes != b.msg_bytes
+    assert column_key(a) == column_key(b)
+    for variant in (
+        Point("PiP-MPICH", "allgather", 2, 2, 64, engine="batch"),
+        Point("PiP-MColl", "allreduce", 2, 2, 64, engine="batch"),
+        Point("PiP-MColl", "allgather", 4, 2, 64, engine="batch"),
+        Point("PiP-MColl", "allgather", 2, 2, 64, engine="auto"),
+        Point("PiP-MColl", "allgather", 2, 2, 64, engine="batch", warmup=2),
+        Point("PiP-MColl", "allgather", 2, 2, 64, engine="batch",
+              thresholds=Thresholds.always_small()),
+    ):
+        assert column_key(variant) != column_key(a), variant
+
+
+def test_cache_key_distinct_per_engine_including_batch():
+    keys = {
+        cache_key(Point("PiP-MColl", "allgather", 2, 2, 64, engine=e))
+        for e in ("event", "dag", "batch", "auto")
+    }
+    assert len(keys) == 4
+
+
+def test_grouped_sweep_never_relowers():
+    """The pool warm start: one lowering per column structure, reused
+    across every size and every repeat sweep."""
+    from repro.sched.batch import clear_lowering_cache, lowering_cache_info
+
+    clear_lowering_cache()
+    runner = SweepRunner(jobs=1, use_cache=False)
+    runner.run(COLUMN_POINTS)
+    first = lowering_cache_info()
+    assert first.misses > 0
+    runner.run(COLUMN_POINTS)
+    second = lowering_cache_info()
+    assert second.misses == first.misses
+    assert second.hits > first.hits
+
+
+def test_cache_clear_removes_column_entries(tmp_path):
+    cache = _cache(tmp_path)
+    SweepRunner(jobs=1, use_cache=True, cache=cache).run(COLUMN_POINTS[:2])
+    assert len(cache) == 2
+    assert cache.clear() >= 1
+    assert len(cache) == 0
 
 
 # -- sweep expansion and env knobs ----------------------------------------
