@@ -88,6 +88,26 @@ BATCH_SMOKE_COLUMNS = (("PiP-MColl", "allgather", 2, 4),)
 BATCH_SMOKE_AXIS = tuple(sorted({int(16 * 2 ** (k / 4)) for k in range(33)}))
 
 
+def parse_columns(text: str):
+    """Parse ``--columns "PiP-MColl/allgather/2x4,..."`` into column specs."""
+    specs = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        parts = item.split("/")
+        if len(parts) != 3 or "x" not in parts[2]:
+            raise ValueError(
+                f"bad column spec {item!r}; expected LIB/COLLECTIVE/NxP"
+            )
+        lib, coll, shape = parts
+        nodes_text, ppn_text = shape.split("x", 1)
+        specs.append((lib, coll, int(nodes_text), int(ppn_text)))
+    if not specs:
+        raise ValueError("--columns selected no columns")
+    return tuple(specs)
+
+
 def _time_point(spec, engine: str, reps: int) -> tuple[float, object]:
     """Best-of-``reps`` wall seconds for one fresh-world evaluation."""
     lib, coll, nodes, ppn, nbytes = spec
@@ -191,8 +211,127 @@ def run_batch_grid(columns, axis, reps: int, with_event: bool):
     return rows, mismatches
 
 
+def _time_analytic_column(spec, axis, reps: int):
+    """Best-of-``reps`` wall seconds for one closed-form axis evaluation."""
+    from repro.sched.analytic import evaluate_axis
+
+    lib, coll, nodes, ppn = spec
+    best = float("inf")
+    col = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        col = evaluate_axis(lib, coll, nodes, ppn, axis)
+        best = min(best, time.perf_counter() - t0)
+    return best, col
+
+
+def run_analytic_mode(args) -> int:
+    """``--analytic``: closed-form tier vs the DAG engine on full axes.
+
+    No bit-identity (the analytic tier is approximate); instead the
+    per-column maximum relative error vs DAG is recorded and checked
+    against the documented bound.
+    """
+    from repro.sched.analytic import ERROR_BOUND
+
+    if args.columns:
+        columns = parse_columns(args.columns)
+    else:
+        columns = BATCH_SMOKE_COLUMNS if args.smoke else BATCH_COLUMNS
+    axis = BATCH_SMOKE_AXIS if args.smoke else BATCH_AXIS
+    reps = args.reps if args.reps is not None else (2 if args.smoke else 3)
+    print(
+        f"analytic speed: {len(columns)} columns x {len(axis)} sizes, "
+        f"best of {reps} reps each"
+    )
+    rows = []
+    violations = []
+    for spec in columns:
+        lib, coll, nodes, ppn = spec
+        dag_s, dag_res = _time_column(spec, axis, "dag", reps)
+        an_s, col = _time_analytic_column(spec, axis, reps)
+        errs = [
+            abs(col.results[s].time / dag_res[s][0][-1] - 1.0) for s in axis
+        ]
+        max_err = max(errs)
+        if max_err >= ERROR_BOUND:
+            violations.append((spec, max_err))
+        rows.append({
+            "library": lib,
+            "collective": coll,
+            "nodes": nodes,
+            "ppn": ppn,
+            "sizes": len(axis),
+            "dag_s": dag_s,
+            "analytic_s": an_s,
+            "analytic_vs_dag": dag_s / an_s,
+            "max_rel_err": max_err,
+            "median_rel_err": statistics.median(errs),
+        })
+        print(
+            f"  {lib:>15} {coll:<9} {nodes}x{ppn:<2} {len(axis)} sizes  "
+            f"dag {dag_s * 1e3:8.1f}ms  analytic {an_s * 1e3:8.3f}ms  "
+            f"{dag_s / an_s:7.0f}x  (max err {max_err:.1%})",
+            flush=True,
+        )
+    if violations:
+        print(f"FAIL: error bound ({ERROR_BOUND:.0%}) violated:")
+        for spec, err in violations:
+            print(f"  {spec}: {err:.1%}")
+        return 1
+
+    npoints = sum(r["sizes"] for r in rows)
+    dag_total = sum(r["dag_s"] for r in rows)
+    an_total = sum(r["analytic_s"] for r in rows)
+    aggregate = {
+        "points": npoints,
+        "dag_points_per_sec": npoints / dag_total,
+        "analytic_points_per_sec": npoints / an_total,
+        "analytic_vs_dag": dag_total / an_total,
+        "max_rel_err": max(r["max_rel_err"] for r in rows),
+        "error_bound": ERROR_BOUND,
+    }
+    print(
+        f"aggregate: dag {aggregate['dag_points_per_sec']:.1f} pts/s, "
+        f"analytic {aggregate['analytic_points_per_sec']:.0f} pts/s -> "
+        f"{aggregate['analytic_vs_dag']:.0f}x vs dag "
+        f"(max rel err {aggregate['max_rel_err']:.1%})"
+    )
+
+    if args.smoke:
+        if aggregate["analytic_vs_dag"] < 50:
+            print("FAIL: analytic tier under 50x vs dag")
+            return 1
+        print("smoke ok: analytic within error bound and >= 50x vs dag")
+        return 0
+
+    out = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_analytic.json"
+    )
+    doc = {
+        "benchmark": "analytic-closed-form-vs-dag-engine",
+        "python": sys.version.split()[0],
+        "reps": reps,
+        "protocol": (
+            "best-of-reps wall time per column; axis = eighth-octave "
+            "16B..512KB (121 sizes); dag = one fresh run_point per size, "
+            "analytic = one vectorized evaluate_axis call; approximate "
+            "tier - per-size relative error vs dag recorded and gated at "
+            "the documented bound instead of bit-identity"
+        ),
+        "columns": rows,
+        "aggregate": aggregate,
+    }
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
 def run_batch_mode(args) -> int:
-    columns = BATCH_SMOKE_COLUMNS if args.smoke else BATCH_COLUMNS
+    if args.columns:
+        columns = parse_columns(args.columns)
+    else:
+        columns = BATCH_SMOKE_COLUMNS if args.smoke else BATCH_COLUMNS
     axis = BATCH_SMOKE_AXIS if args.smoke else BATCH_AXIS
     reps = args.reps if args.reps is not None else (2 if args.smoke else 3)
     with_event = not args.smoke
@@ -244,6 +383,21 @@ def run_batch_mode(args) -> int:
         if aggregate["batch_vs_dag"] < 1.2:
             print("FAIL: batch engine is not meaningfully faster (< 1.2x)")
             return 1
+        if args.check_regression:
+            committed = json.loads(Path(args.check_regression).read_text())
+            floor = 0.8 * committed["aggregate"]["batch_points_per_sec"]
+            got = aggregate["batch_points_per_sec"]
+            if got < floor:
+                print(
+                    f"FAIL: batch throughput regressed: {got:.1f} pts/s on "
+                    f"the smoke column < 0.8x the committed figure "
+                    f"({committed['aggregate']['batch_points_per_sec']:.1f})"
+                )
+                return 1
+            print(
+                f"regression gate ok: {got:.1f} pts/s >= "
+                f"0.8x committed ({floor:.1f})"
+            )
         print("smoke ok: engines identical, batch faster")
         return 0
 
@@ -282,6 +436,24 @@ def main(argv=None) -> int:
              "unless batch beats dag)",
     )
     parser.add_argument(
+        "--analytic", action="store_true",
+        help="closed-form tier benchmark: full size axes, analytic vs dag, "
+             "-> BENCH_analytic.json (with --smoke: one small column, exit "
+             "1 unless analytic is within the error bound and >= 50x)",
+    )
+    parser.add_argument(
+        "--columns", default=None, metavar="LIB/COLL/NxP,...",
+        help="restrict the --batch/--analytic column grid, e.g. "
+             "PiP-MColl/scatter/4x8,OpenMPI/allgather/2x16 (CI smoke "
+             "uses this to run only the cheap columns)",
+    )
+    parser.add_argument(
+        "--check-regression", default=None, metavar="BENCH_batch.json",
+        help="with --batch --smoke: also fail if batch points/sec on the "
+             "smoke column drops below 0.8x the committed aggregate figure "
+             "in the given JSON",
+    )
+    parser.add_argument(
         "--reps", type=int, default=None,
         help="wall-clock reps per (point, engine); best is kept "
              "(default 3, smoke 2)",
@@ -292,6 +464,8 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.analytic:
+        return run_analytic_mode(args)
     if args.batch:
         return run_batch_mode(args)
 

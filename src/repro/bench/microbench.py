@@ -41,9 +41,11 @@ COLLECTIVES = (
 
 #: how a point is evaluated: the coroutine event loop (authoritative), the
 #: DAG fast path (bit-identical, planner-backed pairs only), the batch
-#: engine (bit-identical, whole size columns vectorized), or ``auto``
-#: (DAG/batch whenever they apply, event loop otherwise)
-ENGINES = ("event", "dag", "batch", "auto")
+#: engine (bit-identical, whole size columns vectorized), the analytic
+#: tier (closed-form estimates — approximate, error-bounded, never picked
+#: by ``auto``; see :mod:`repro.sched.analytic`), or ``auto`` (DAG/batch
+#: whenever they apply, event loop otherwise)
+ENGINES = ("event", "dag", "batch", "analytic", "auto")
 
 
 def resolve_engine(
@@ -198,12 +200,36 @@ def run_point(
     column engine (:func:`repro.sched.batch.evaluate_column`) — same
     coverage and bit-identity contract as ``"dag"``; a single point gains
     nothing over it, the option exists so sweep drivers can thread one
-    engine name end to end.  ``"auto"`` degrades to the event loop instead
-    of raising.
+    engine name end to end.  ``"analytic"`` skips simulation entirely and
+    returns the closed-form estimate (approximate — see
+    :mod:`repro.sched.analytic` for the error contract); ``auto`` never
+    selects it.  ``"auto"`` degrades to the event loop instead of raising.
     """
     if measure < 1:
         raise ValueError("need at least one measured iteration")
     engine = resolve_engine(engine, library, collective, tracing=tracer is not None)
+    if engine == "analytic":
+        if tracer is not None:
+            raise ValueError(
+                "engine='analytic' cannot record traces; use engine='event'"
+            )
+        from repro.sched.analytic import evaluate_point as _analytic_point
+
+        est = _analytic_point(
+            library, collective, nodes, ppn, msg_bytes,
+            params=params, warmup=warmup, measure=measure,
+            thresholds=thresholds,
+        )
+        return MicrobenchResult(
+            library=library,
+            collective=collective,
+            nodes=nodes,
+            ppn=ppn,
+            msg_bytes=msg_bytes,
+            time=est.time,
+            samples=est.samples,
+            internode_messages=est.internode_messages,
+        )
     if engine == "batch":
         if tracer is not None:
             raise ValueError(

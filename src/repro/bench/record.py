@@ -91,7 +91,16 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--cache-stats", action="store_true",
-        help="report result-cache hits/misses/bytes after the figures",
+        help="report result-cache hits/misses/bytes and batch-lowering "
+             "counters (aggregated across pool work units) after the "
+             "figures",
+    )
+    parser.add_argument(
+        "--error-report", action="store_true",
+        help="skip the figures and measure the analytic tier's error "
+             "against the exact engines across the registry grid, "
+             "persisting results/analytic_error.json (exit 1 if the "
+             "documented bound is violated)",
     )
     parser.add_argument(
         "--check", action="store_true",
@@ -111,6 +120,13 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     scale = SCALES[args.scale]
+    if args.error_report:
+        from repro.models.calibrate import format_summary, write_error_report
+
+        doc = write_error_report()
+        print(format_summary(doc))
+        print("wrote results/analytic_error.json")
+        return 0 if doc["within_bound"] else 1
     if args.trace or args.trace_point:
         if not (args.trace and args.trace_point):
             parser.error("--trace and --trace-point must be used together")
@@ -163,6 +179,11 @@ def main(argv=None) -> int:
             f"   [cache: {s['hits']} hits, {s['misses']} misses, "
             f"{s['stores']} stores, {s['bytes_read']}B read, "
             f"{s['bytes_written']}B written]"
+        )
+        lo = runner.lowering_cache_totals()
+        emit(
+            f"   [batch lowering: {lo['hits']} hits, {lo['misses']} misses "
+            f"across {lo['columns']} column work units]"
         )
     return 0
 

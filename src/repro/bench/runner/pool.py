@@ -34,7 +34,7 @@ from repro.sched.fastpath import fastpath_supported
 
 __all__ = [
     "SweepRunner", "default_runner", "run_points", "run_point_spec",
-    "run_sweep_column",
+    "run_sweep_column", "run_sweep_column_stats",
 ]
 
 _ENV_JOBS = "PIPMCOLL_JOBS"
@@ -107,6 +107,32 @@ def run_sweep_column(points: Sequence[Point]) -> List[MicrobenchResult]:
             )
         )
     return out
+
+
+def run_sweep_column_stats(
+    points: Sequence[Point],
+) -> Tuple[List[MicrobenchResult], Dict[str, int]]:
+    """Pool worker: :func:`run_sweep_column` plus this work unit's lowering
+    counters.
+
+    Pool workers are separate processes, so the parent's
+    ``planner_cache_info()["batch_lowering"]`` counters never see column
+    work — each worker's counters die with its process.  This wrapper
+    snapshots the per-process counters around the column pass and ships
+    the *delta* home in the result payload, so the runner can aggregate
+    lowering hits/misses across every work unit of the sweep regardless
+    of which process ran it.
+    """
+    from repro.sched.batch import lowering_cache_info
+
+    before = lowering_cache_info()
+    results = run_sweep_column(points)
+    after = lowering_cache_info()
+    delta = {
+        "hits": after.hits - before.hits,
+        "misses": after.misses - before.misses,
+    }
+    return results, delta
 
 
 def _column_group_key(point: Point) -> Tuple:
@@ -191,6 +217,15 @@ class SweepRunner:
         if engine is not None and engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
         self.engine = engine
+        #: lowering-cache counters summed over every column work unit this
+        #: runner executed (pool or serial); see run_sweep_column_stats
+        self._lowering_totals = {"hits": 0, "misses": 0, "columns": 0}
+
+    def lowering_cache_totals(self) -> Dict[str, int]:
+        """Batch-lowering hits/misses aggregated across all column work
+        units run by this runner — survives the process pool, unlike the
+        in-process ``planner_cache_info()["batch_lowering"]`` counters."""
+        return dict(self._lowering_totals)
 
     # -- execution -------------------------------------------------------
 
@@ -283,12 +318,15 @@ class SweepRunner:
             groups = [[points[i] for i in idxs]
                       for idxs in col_pending.values()]
             if self.jobs > 1 and len(groups) > 1:
-                computed_cols = self._map_pool(run_sweep_column, groups)
+                computed_cols = self._map_pool(run_sweep_column_stats, groups)
             else:
-                computed_cols = map(run_sweep_column, groups)
-            for idxs, group, col_results in zip(
+                computed_cols = map(run_sweep_column_stats, groups)
+            for idxs, group, (col_results, lower_delta) in zip(
                 col_pending.values(), groups, computed_cols
             ):
+                self._lowering_totals["hits"] += lower_delta["hits"]
+                self._lowering_totals["misses"] += lower_delta["misses"]
+                self._lowering_totals["columns"] += 1
                 if self.use_cache:
                     self.cache.put_many(group, col_results)
                 for i, result in zip(idxs, col_results):

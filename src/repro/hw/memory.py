@@ -134,9 +134,10 @@ class BatchMemory:
     Duck-typed for the mechanism closures (``engine``/``params``/
     ``copy_occupy``/``reduce_occupy``/``fault_cost``), with every time a
     ``(S,)`` array over the partition's size axis.  The ``engine`` must
-    also provide ``touch`` (the batch engine's shim forwards it to the
+    also provide ``touch_ok`` (the batch engine's shim forwards it to the
     timeline's conflict recorder): the lane pool is one resource for the
-    conflict check.  The lane pool becomes a
+    conflict check, with zero-wait reservations recorded as commuting
+    accesses.  The lane pool becomes a
     ``(lanes, S)`` matrix of next-free times: ``argmin`` over the lane axis
     is the vector form of the scalar heappop — when next-free times tie,
     the lanes are indistinguishable, so replacing *a* minimum with the new
@@ -172,14 +173,21 @@ class BatchMemory:
                 raise BatchDivergence(pos)
         elif nbytes <= 0:
             return blocked
-        self.engine.touch(self._mm_key)
         lanes = self._lane_free
         service = nbytes / bw
         lane = lanes.argmin(axis=0)
         cols = self._lane_cols
-        start = np.maximum(lanes[lane, cols], now)
+        prev = lanes[lane, cols]
+        start = np.maximum(prev, now)
         end = start + service
         lanes[lane, cols] = end
+        # two reservations that both started without waiting commute:
+        # argmin removes the same two smallest lane-free times in either
+        # order, the added end times are admit+service either way, and the
+        # blocked durations are wait-free — so the pool multiset and both
+        # return values are order-independent (see batchline docstring)
+        ok = prev <= now
+        self.engine.touch_ok(self._mm_key, True if ok.all() else ok)
         return blocked + (end - now)
 
     def copy_occupy(self, now, nbytes, extra_fixed=0.0):

@@ -338,13 +338,17 @@ class _Req:
     event collapses to ``done``/``value``/``waiter`` fields.
     """
 
-    __slots__ = ("kind", "done", "value", "waiter")
+    __slots__ = ("kind", "done", "value", "waiter", "t", "wt")
 
     def __init__(self, kind: str):
         self.kind = kind
         self.done = False
         self.value = None
         self.waiter = None
+        # batch-engine max-resume stamps (unused by the scalar engines):
+        # completion-time vector and waiter's wait-reach-time vector
+        self.t = None
+        self.wt = None
 
 
 class _Msg:
@@ -352,7 +356,7 @@ class _Msg:
 
     __slots__ = (
         "src", "dst", "tag", "nbytes", "src_buffer_id",
-        "intranode", "rendezvous", "unexpected", "src_local", "sreq",
+        "intranode", "rendezvous", "unexpected", "src_local", "sreq", "t",
     )
 
     def __init__(self, src, dst, tag, nbytes, src_buffer_id, intranode,
@@ -367,16 +371,25 @@ class _Msg:
         self.unexpected = False
         self.src_local = src_local
         self.sreq = sreq
+        # batch-engine arrival-time vector (unused by the scalar engines)
+        self.t = None
 
 
 class _Counter:
     """Shared-counter state: value + ordered ``(threshold, event)`` waiters."""
 
-    __slots__ = ("value", "waiters")
+    __slots__ = ("value", "waiters", "adds", "tmax", "sorted_ok")
 
     def __init__(self) -> None:
         self.value = 0
         self.waiters: list = []
+        # batch-engine add log: (fire-time vector, n) per add, for exact
+        # per-size threshold-crossing times (unused by the scalar engines);
+        # ``tmax``/``sorted_ok`` track whether the log is elementwise
+        # non-decreasing, in which case crossings need no per-size sort
+        self.adds: list = []
+        self.tmax = None
+        self.sorted_ok = True
 
 
 class FastWorld:

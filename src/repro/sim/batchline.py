@@ -19,9 +19,8 @@ order size ``s``'s own scalar run would use:
 * every mutable piece of simulation state is owned by exactly one
   *resource* — a process's NIC injection lane, a node's transmit or
   receive pipeline, a node's memory-lane pool, one ``(dst, src, tag)``
-  match queue, one request object, a board or counter key, a buffer's
-  warm-fault state.  Dispatches record which resources they touch via
-  :meth:`BatchTimeline.touch`;
+  match queue, a buffer's warm-fault state.  Dispatches record which
+  resources they touch via :meth:`BatchTimeline.touch`;
 * a dispatch's outputs depend only on its inputs and on the access order
   of the resources it touches.  Two executions that perform the same
   per-resource access sequences therefore compute identical values — the
@@ -36,6 +35,34 @@ order size ``s``'s own scalar run would use:
   the scalar DAG engine.  No result computed under a non-equivalent order
   is ever reported.
 
+Max-resume semantics.  Synchronization resources — send/recv requests,
+board posts, counter thresholds — are *not* order-sensitive at all once
+the waiter's resume time is computed as the elementwise maximum of the
+waiter's arrival time and the trigger's fire time: in every scalar run
+the continuation runs at exactly ``max(reach, trigger)``, whichever side
+arrived first.  Ready-queue entries therefore carry an optional ``now``
+override vector (pivot component always equal to the dispatching pop's
+time, so pivot arithmetic and dispatch order are untouched), and those
+resources need no conflict tracking: the batch run computes every size's
+exact scalar resume time directly.  Counter waits additionally need the
+exact per-size *crossing* time (which add pushed the counter over the
+threshold differs per size); the batch engine computes it as an
+order statistic over the recorded add times and validates it post hoc
+(see :mod:`repro.sched.batch`).
+
+Commuting accesses.  Some genuinely order-sensitive resources are
+order-insensitive for *particular* access pairs: two memory-lane-pool
+reservations that both started without waiting remove the same two
+smallest lane-free times and add the same two end times in either order
+(the pool is an indistinguishable-server multiset), and a match-queue
+deliver/post pair whose message class makes both match orders cost the
+same (intranode, or internode rendezvous, where the unexpected flag does
+not enter the cost path) commutes when the queue never holds more than
+one entry.  Such accesses are recorded via :meth:`BatchTimeline.touch_ok`
+with a per-size ``ok`` mask; an inverted adjacent pair is divergent only
+at sizes where either side was *not* ok — the classical commuting-movers
+refinement of conflict equivalence.
+
 Tie adjudication.  The scalar engines break equal-time heap entries by
 push sequence number, and push order is itself execution-order dependent,
 so the batch run cannot just reuse its own seq numbers for other sizes.
@@ -45,9 +72,22 @@ the per-iteration root pushes).  In the scalar run at ``s``, entry ``a``
 was pushed before entry ``b`` iff ``a``'s parent pop dispatched before
 ``b``'s (recursively, by fire time at ``s``, then parents), with fixed
 push order inside one segment and roots pushed first.  The comparison
-recurses through strictly earlier pops, is memoised, and is capped: if a
-pathological run exceeds the work bound, the affected ties are simply
-declared divergent (conservative, never unsound).
+walks the two parent chains in lock-step — and since parents are strictly
+earlier pops, the chains are finite.  All tie pairs are resolved in one
+bulk pass: the chains of every pair advance together as index arrays, the
+``t[pa] < t[pb]`` contributions accumulate under the running equal-time
+gate, and pairs drop out as their chain hits a structurally-decided case
+(same segment, parent-of-the-other, root).  A defensive level cap keeps
+the loop bounded even if the parent invariant were violated; capped ties
+are simply declared divergent (conservative, never unsound).
+
+Divergence signatures.  :meth:`BatchTimeline.divergence_labels` exposes
+*which* conflict pairs are inverted per size: two divergent sizes with the
+same inversion signature disagree with the pivot's dispatch order in
+exactly the same places, which makes them strong candidates to agree with
+*each other* — the batch engine re-batches each signature cluster under
+its own pivot instead of falling back per size (see
+:mod:`repro.sched.batch`).
 
 Two deliberate non-resources.  Buffer ids (the ``_OP_ALLOC`` sequence)
 are opaque keys: a run that interleaves allocations differently assigns
@@ -105,7 +145,8 @@ class BatchTimeline:
 
     __slots__ = ("width", "now", "_heap", "_ready", "_seq",
                  "_pop_times", "_pop_seqs", "_pop_epochs", "_pop_pars",
-                 "_res", "_cur", "_epoch", "_epoch_start")
+                 "_res", "_res_ok", "_cur", "_epoch", "_epoch_start",
+                 "_wrong_cache")
 
     def __init__(self, width: int):
         self.width = width
@@ -120,10 +161,15 @@ class BatchTimeline:
         self._pop_pars: list = []
         #: resource key -> ordered list of accessing pop indices
         self._res: Dict[Any, List[int]] = {}
+        #: resource key -> (pop indices, per-access ok masks) for
+        #: conditionally-commuting resources (see touch_ok)
+        self._res_ok: Dict[Any, tuple] = {}
         #: pop whose dispatch segment is currently executing (-1 = root)
         self._cur = -1
         self._epoch = 0
         self._epoch_start = 0
+        #: memoised (pair index, wrong-order matrix) from the last check
+        self._wrong_cache = None
 
     def new_epoch(self) -> None:
         """Mark an iteration boundary (a full drain separates epochs)."""
@@ -144,7 +190,7 @@ class BatchTimeline:
 
     def defer(self, fn: Callable[[Any], None], value: Any = None) -> None:
         """Run ``fn(value)`` at the current time, after already-ready work."""
-        self._ready.append((fn, value))
+        self._ready.append((fn, value, None))
 
     def touch(self, key) -> None:
         """Record that the current dispatch segment accessed resource
@@ -156,13 +202,35 @@ class BatchTimeline:
         elif lst[-1] != self._cur:
             lst.append(self._cur)
 
+    def touch_ok(self, key, ok) -> None:
+        """Like :meth:`touch`, with a commutation mask.
+
+        ``ok`` is True / a boolean ``(S,)`` array marking sizes at which
+        this access commutes with an adjacent inverted neighbour *that is
+        also ok* (zero-wait lane reservations, class-uniform singleton
+        match-queue operations).  An inverted pair is counted divergent
+        only where either side is not ok.  Collapsed same-segment touches
+        AND their masks.
+        """
+        res = self._res_ok
+        rec = res.get(key)
+        if rec is None:
+            res[key] = ([self._cur], [ok])
+        elif rec[0][-1] != self._cur:
+            rec[0].append(self._cur)
+            rec[1].append(ok)
+        else:
+            rec[1][-1] = rec[1][-1] & ok
+
     def run(self) -> np.ndarray:
         """Dispatch until both queues drain; returns the final time vector.
 
         Mirrors ``Timeline.run``: the ready deque is drained completely
         before each single heap pop.  Ready callbacks execute inside the
         segment of the pop that (transitively) appended them, so their
-        resource touches anchor to that pop.
+        resource touches anchor to that pop; entries carrying a ``now``
+        override (max-resume continuations) see their exact per-size
+        resume vector, and the segment's own clock is restored afterwards.
         """
         heap = self._heap
         ready = self._ready
@@ -172,10 +240,16 @@ class BatchTimeline:
         pop_epochs = self._pop_epochs
         pop_pars = self._pop_pars
         epoch = self._epoch
+        tvec = self.now
         while heap or ready:
             while ready:
-                fn, value = ready.popleft()
-                fn(value)
+                fn, value, over = ready.popleft()
+                if over is None:
+                    fn(value)
+                else:
+                    self.now = over
+                    fn(value)
+                    self.now = tvec
             if not heap:
                 break
             entry = pop(heap)
@@ -197,6 +271,160 @@ class BatchTimeline:
             self.now = np.max(np.asarray(seg), axis=0)
         return self.now
 
+    def _conflict_matrix(self):
+        """``(idx, wrong)`` over every distinct in-epoch conflict pair.
+
+        ``idx`` is an ``(n, 2)`` int64 array of pop pairs the batch ran as
+        ``i`` then ``j``; ``wrong[r, s]`` is True when size ``s``'s own
+        scalar run would have dispatched pair ``r`` the *other* way — by
+        fire time, equal-time ties broken by the reconstructed push order.
+        Returns None when nothing conflicts.  Memoised (the batch engine
+        reads it once for the divergence mask and once for the signature
+        labels).
+        """
+        cached = self._wrong_cache
+        if cached is not None:
+            return cached or None
+        npops = len(self._pop_times)
+        if npops < 2 or not (self._res or self._res_ok):
+            self._wrong_cache = False
+            return None
+        epochs = self._pop_epochs
+        # collect the distinct in-epoch conflict pairs (batch ran i, then
+        # j), each with its commutation mask: None = strict, else an ok
+        # mask under which an inversion is harmless.  A pair reached
+        # through several resources must be harmless under every one.
+        pairs: Dict[tuple, Any] = {}
+        for accesses in self._res.values():
+            i = accesses[0]
+            for j in accesses[1:]:
+                if (
+                    j != i and j != -1 and i != -1
+                    and epochs[i] == epochs[j]
+                ):
+                    pairs[(i, j)] = None
+                i = j
+        for pops, oks in self._res_ok.values():
+            i = pops[0]
+            oki = oks[0]
+            for j, okj in zip(pops[1:], oks[1:]):
+                if (
+                    j != i and j != -1 and i != -1
+                    and epochs[i] == epochs[j]
+                ):
+                    p = (i, j)
+                    both = oki & okj
+                    if p not in pairs:
+                        pairs[p] = both
+                    else:
+                        cur = pairs[p]
+                        if cur is not None:
+                            pairs[p] = cur & both
+                i = j
+                oki = okj
+        # pairs that commute at every size can never flag anything
+        kept = [
+            (ij, relax) for ij, relax in pairs.items()
+            if not (relax is True
+                    or (isinstance(relax, np.ndarray) and relax.all()))
+        ]
+        if not kept:
+            self._wrong_cache = False
+            return None
+        n = len(kept)
+        idx = np.fromiter(
+            (k for ij, _ in kept for k in ij), np.int64, 2 * n
+        ).reshape(n, 2)
+        tmat = np.asarray(self._pop_times)
+        ti = tmat[idx[:, 0]]
+        tj = tmat[idx[:, 1]]
+        # bulk fire-time pass: j strictly before i at size s is an
+        # inversion; equal-time pairs fall through to the tie pass
+        wrong = tj < ti
+        ties = ti == tj
+        tie_rows = np.nonzero(ties.any(axis=1))[0]
+        if len(tie_rows):
+            order_ok = self._push_order_bulk(idx[tie_rows], tmat)
+            wrong[tie_rows] |= ties[tie_rows] & ~order_ok
+        for r, (_, relax) in enumerate(kept):
+            # scalar-False masks are fully strict: nothing to clear
+            if isinstance(relax, np.ndarray):
+                wrong[r] &= ~relax
+        self._wrong_cache = (idx, wrong)
+        return self._wrong_cache
+
+    def _push_order_bulk(self, pairs: np.ndarray,
+                         tmat: np.ndarray) -> np.ndarray:
+        """Bulk push-order reconstruction for equal-time tie pairs.
+
+        Returns an ``(n, S)`` mask: at size ``s``, pair ``r``'s first pop
+        was pushed before its second in ``s``'s scalar run.  All pairs'
+        parent chains advance together; per level, the structurally
+        decided cases (same segment, pushed-during-the-other, root) peel
+        off as resolved rows, and for the rest the comparison becomes
+        ``precedes(parent_a, parent_b)``: earlier fire time wins where the
+        running equal-time gate is still open, and still-tied positions
+        carry to the next level.
+        """
+        pars = np.asarray(self._pop_pars, dtype=np.int64)
+        seqs = np.asarray(self._pop_seqs, dtype=np.int64)
+        n = len(pairs)
+        out = np.zeros((n, self.width), dtype=bool)
+        rows = np.arange(n, dtype=np.int64)
+        a = pairs[:, 0].copy()
+        b = pairs[:, 1].copy()
+        #: lt-contributions accumulated along the chain, gated by all ties
+        acc = np.zeros((n, self.width), dtype=bool)
+        gate = np.ones((n, self.width), dtype=bool)
+        # parents are strictly earlier pops, so every chain shortens each
+        # level; the cap is purely defensive — capped ties resolve to
+        # "not before", i.e. divergent (conservative, never unsound)
+        for _ in range(len(pars) + 2):
+            if not len(rows):
+                break
+            pa = pars[a]
+            pb = pars[b]
+            m_same = pa == pb
+            m_in_b = pa == b   # a pushed during b's segment: after b
+            m_in_a = pb == a   # b pushed during a's segment: after a
+            m_root_a = pa == -1  # roots are pushed before any segment
+            m_root_b = pb == -1
+            resolved = m_same | m_in_b | m_in_a | m_root_a | m_root_b
+            if resolved.any():
+                # same-segment push order is code order (the recorded
+                # seqs); the cross cases are mutually exclusive with it
+                val = np.where(
+                    m_same, seqs[a] < seqs[b],
+                    m_in_a | (m_root_a & ~m_in_b),
+                )
+                out[rows[resolved]] = (
+                    acc[resolved] | (gate[resolved] & val[resolved, None])
+                )
+                keep = ~resolved
+                rows = rows[keep]
+                a = pa[keep]
+                b = pb[keep]
+                acc = acc[keep]
+                gate = gate[keep]
+                if not len(rows):
+                    break
+            else:
+                a = pa
+                b = pb
+            ta = tmat[a]
+            tb = tmat[b]
+            acc |= gate & (ta < tb)
+            gate &= ta == tb
+            alive = gate.any(axis=1)
+            if not alive.all():
+                out[rows[~alive]] = acc[~alive]
+                rows = rows[alive]
+                a = a[alive]
+                b = b[alive]
+                acc = acc[alive]
+                gate = gate[alive]
+        return out
+
     def order_divergence(self) -> np.ndarray:
         """Per-size conflict-divergence mask over everything dispatched.
 
@@ -207,118 +435,91 @@ class BatchTimeline:
         must be recomputed on the scalar engine.  The pivot (index 0) is
         never divergent: the queues are ordered by it.
         """
-        npops = len(self._pop_times)
-        div = np.zeros(self.width, dtype=bool)
-        if npops < 2 or not self._res:
-            return div
-        times = self._pop_times
-        seqs = self._pop_seqs
-        epochs = self._pop_epochs
-        pars = self._pop_pars
-        # collect the distinct in-epoch conflict pairs (batch ran i, then j)
-        pairs = set()
-        add = pairs.add
-        for accesses in self._res.values():
-            i = accesses[0]
-            for j in accesses[1:]:
-                if (
-                    j != i and j != -1 and i != -1
-                    and epochs[i] == epochs[j]
-                ):
-                    add((i, j))
-                i = j
-        if not pairs:
-            return div
-        # bulk pass: a pair where j fires strictly before i at size s is an
-        # inversion; ties need the push-order tie-break and are rare enough
-        # to adjudicate pair by pair
-        n = len(pairs)
-        idx = np.fromiter(
-            (k for ij in pairs for k in ij), np.int64, 2 * n
-        ).reshape(n, 2)
-        tmat = np.asarray(times)
-        ti = tmat[idx[:, 0]]
-        tj = tmat[idx[:, 1]]
-        np.logical_or.reduce(tj < ti, axis=0, out=div)
-        ties = ti == tj
-        tie_rows = np.nonzero(ties.any(axis=1))[0]
-        if not len(tie_rows):
-            return div
-        # memoised "pop i dispatches before pop j at size s" masks; the
-        # budget caps pathological tie chains (excess ties are simply
-        # declared divergent, which is conservative, never unsound)
-        memo: Dict = {}
-        budget = max(4096, 8 * npops)
+        mat = self._conflict_matrix()
+        if mat is None:
+            return np.zeros(self.width, dtype=bool)
+        return mat[1].any(axis=0)
 
-        def precedes(i: int, j: int) -> np.ndarray:
-            """(S,) mask: pop ``i`` dispatches before pop ``j`` in the
-            scalar run — by fire time, ties by reconstructed push order."""
-            got = memo.get((i, j))
-            if got is not None:
-                return got
-            ti, tj = times[i], times[j]
-            out = ti < tj
-            tie = ti == tj
-            if tie.any() and len(memo) < budget:
-                out = out | (tie & _push_order(i, j))
-            memo[(i, j)] = out
-            return out
+    def divergence_labels(self, divergent: np.ndarray) -> np.ndarray:
+        """Cluster the flagged sizes by inversion signature.
 
-        def _push_order(i: int, j: int) -> bool | np.ndarray:
-            """Whether pop ``i``'s entry was pushed before pop ``j``'s in
-            the scalar run (the seq tie-break, reconstructed)."""
-            pi, pj = pars[i], pars[j]
-            if pi == pj:
-                # same segment: push order is code order, same in both
-                return seqs[i] < seqs[j]
-            if pi == j:
-                return False  # i was pushed during j's segment
-            if pj == i:
-                return True
-            if pi == -1:
-                return True  # roots are pushed before any segment runs
-            if pj == -1:
-                return False
-            return precedes(pi, pj)
-
-        for r in tie_rows:
-            i = int(idx[r, 0])
-            j = int(idx[r, 1])
-            tie = ties[r]
-            order_ok = tie & _push_order(i, j)
-            div |= tie & ~order_ok
-        return div
+        ``divergent`` is a boolean ``(S,)`` mask (normally the
+        :meth:`order_divergence` result, but callers may widen it).
+        Returns an int64 ``(S,)`` array: unflagged sizes get ``-1``, and
+        two flagged sizes share a label iff exactly the same conflict
+        pairs are inverted for them — the same resources serviced in the
+        same "wrong" order, hence the same candidate dispatch order when
+        re-batched together.
+        """
+        labels = np.full(self.width, -1, dtype=np.int64)
+        cols = np.nonzero(divergent)[0]
+        if not len(cols):
+            return labels
+        mat = self._conflict_matrix()
+        if mat is None:
+            labels[cols] = 0
+            return labels
+        sub = mat[1][:, cols]
+        active = sub.any(axis=1)
+        if not active.any():
+            # flagged from outside with no recorded inversion: one cluster
+            labels[cols] = 0
+            return labels
+        sig = np.packbits(sub[active], axis=0)
+        _, inverse = np.unique(sig, axis=1, return_inverse=True)
+        labels[cols] = inverse.reshape(-1)
+        return labels
 
 
 class BatchEvent:
     """One-shot event with the engine's trigger ordering (vector clock).
 
-    Identical to :class:`~repro.sim.timeline.TimelineEvent` — waiters are
-    appended to the ready deque in registration order at trigger time, and
-    waiting on an already-triggered event defers the callback — because
-    trigger semantics carry no times at all.
+    Dispatch positions match :class:`~repro.sim.timeline.TimelineEvent` —
+    waiters are appended to the ready deque in registration order at
+    trigger time, and waiting on an already-triggered event defers the
+    callback — but every resume carries the elementwise
+    ``max(reach, trigger)`` of the waiter's arrival and the trigger time
+    as its ``now`` override: exactly the time each size's own scalar run
+    would resume at, whichever side arrived first there.  The pivot
+    component equals the dispatching pop's time, so pivot arithmetic is
+    untouched.
     """
 
-    __slots__ = ("_tl", "triggered", "value", "_waiters")
+    __slots__ = ("_tl", "triggered", "value", "t", "_waiters")
 
     def __init__(self, tl: BatchTimeline):
         self._tl = tl
         self.triggered = False
         self.value: Any = None
+        #: trigger-time vector (valid once triggered)
+        self.t: Any = None
+        #: (callback, reach-time vector) pairs
         self._waiters: list = []
 
     def wait(self, fn: Callable[[Any], None]) -> None:
+        tl = self._tl
         if self.triggered:
-            self._tl._ready.append((fn, self.value))
+            tl._ready.append((fn, self.value, np.maximum(tl.now, self.t)))
         else:
-            self._waiters.append(fn)
+            self._waiters.append((fn, tl.now))
 
     def trigger(self, value: Any = None) -> None:
+        self.trigger_at(value, self._tl.now)
+
+    def trigger_at(self, value: Any, t: np.ndarray) -> None:
+        """Trigger with an explicit fire-time vector ``t``.
+
+        ``t``'s pivot component must equal the current pivot time (the
+        caller is the dispatch that logically fires the event); non-pivot
+        components may be earlier — e.g. a counter's exact per-size
+        crossing time.
+        """
         self.triggered = True
         self.value = value
+        self.t = t
         waiters = self._waiters
         if waiters:
             ready = self._tl._ready
-            for fn in waiters:
-                ready.append((fn, value))
+            for fn, reach in waiters:
+                ready.append((fn, value, np.maximum(reach, t)))
             self._waiters = []

@@ -324,6 +324,40 @@ def test_parallel_column_execution_identical(tmp_path):
     assert serial == parallel
 
 
+@pytest.mark.parametrize("jobs", (1, 2))
+def test_lowering_counters_aggregate_across_column_work_units(jobs):
+    """Workers are separate processes, so their lowering counters die with
+    them; the runner must ship per-work-unit deltas home and sum them."""
+    from repro.sched.batch import clear_lowering_cache
+
+    clear_lowering_cache()  # serial path shares this process's cache
+    pts = COLUMN_POINTS + [
+        Point("PiP-MPICH", "allgather", 2, 2, s, engine="batch")
+        for s in (64, 1024, 16384)
+    ]
+    runner = SweepRunner(jobs=jobs, use_cache=False)
+    assert runner.lowering_cache_totals() == {
+        "hits": 0, "misses": 0, "columns": 0,
+    }
+    runner.run(pts)
+    totals = runner.lowering_cache_totals()
+    assert totals["columns"] == 2
+    assert totals["hits"] + totals["misses"] > 0
+    assert totals["misses"] > 0  # fresh work units always lower something
+
+
+def test_lowering_delta_worker_returns_results_and_counters():
+    from repro.bench.runner.pool import run_sweep_column_stats
+    from repro.sched.batch import clear_lowering_cache
+
+    clear_lowering_cache()
+    col_results, delta = run_sweep_column_stats(COLUMN_POINTS)
+    assert col_results == run_sweep_column(COLUMN_POINTS)
+    assert set(delta) == {"hits", "misses"}
+    assert delta["misses"] > 0
+    clear_lowering_cache()
+
+
 def test_get_many_put_many_round_trip_and_accounting(tmp_path):
     cache = _cache(tmp_path)
     results = run_sweep_column(COLUMN_POINTS)

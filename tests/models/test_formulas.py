@@ -9,6 +9,7 @@ Two layers:
    contention by construction).
 """
 
+import numpy as np
 import pytest
 
 from repro.bench.microbench import run_point
@@ -20,6 +21,14 @@ from repro.models import (
     allreduce_large_time,
     allreduce_small_time,
     scatter_time,
+)
+from repro.models.formulas import (
+    AnalyticParams,
+    allgather_refined,
+    allreduce_large_refined,
+    allreduce_small_refined,
+    flat_allgather_refined,
+    scatter_refined,
 )
 from repro.util.units import KB
 
@@ -94,6 +103,54 @@ class TestModelProperties:
     def test_single_node_degenerates(self, h):
         t = scatter_time(h, 1024, 1, self.P)
         assert t == pytest.approx(h.a_r + self.P * 1024 * h.b_r)
+
+
+REFINED = (
+    scatter_refined,
+    allgather_refined,
+    allreduce_small_refined,
+    allreduce_large_refined,
+    flat_allgather_refined,
+)
+
+
+class TestRefinedFormulas:
+    """The analytic tier's forms: ufunc vectorization and basic shape.
+
+    Accuracy against the simulator is measured separately
+    (``python -m repro.models.calibrate`` / tests/sched/test_analytic.py);
+    here we pin the algebraic properties.
+    """
+
+    @pytest.fixture(scope="class")
+    def ap(self):
+        return AnalyticParams.from_machine(bebop_broadwell())
+
+    def test_from_machine_derivation(self, ap):
+        machine = bebop_broadwell()
+        assert ap.b_dma < ap.b_proc  # rendezvous DMA streams faster
+        assert ap.eager == machine.eager_threshold
+        assert ap.lanes >= 1
+        assert ap.flag > 0 and ap.post > 0
+
+    def test_stream_beta_switches_at_eager_threshold(self, ap):
+        assert ap.stream_beta(ap.eager) == ap.b_proc
+        assert ap.stream_beta(ap.eager + 1) == ap.b_dma
+        both = ap.stream_beta(np.array([ap.eager, ap.eager + 1]))
+        assert tuple(both) == (ap.b_proc, ap.b_dma)
+
+    @pytest.mark.parametrize("fn", REFINED, ids=lambda f: f.__name__)
+    def test_scalar_equals_vectorized(self, ap, fn):
+        sizes = (64.0, 4096.0, 65536.0, 262144.0)
+        vec = fn(ap, np.array(sizes), 4, 8)
+        for s, v in zip(sizes, vec):
+            assert float(fn(ap, s, 4, 8)) == float(v)
+
+    @pytest.mark.parametrize("fn", REFINED, ids=lambda f: f.__name__)
+    def test_positive_and_nondecreasing_in_cb(self, ap, fn):
+        t = fn(ap, np.array([16.0, 1024.0, 65536.0, 524288.0]), 2, 4)
+        assert np.all(t > 0)
+        assert np.all(np.diff(t) >= 0)
 
 
 class TestSimulatorAgreesWithModels:

@@ -118,6 +118,59 @@ def test_singleton_partition_routes_to_dag():
     assert col.stats.partitions == ()
 
 
+def test_rebatch_recursion_and_depth_exhaustion(monkeypatch):
+    """Signature clusters re-batch under their own pivot until the depth
+    bound, then fall back to the DAG engine — exactly either way.
+
+    Stages divergence the conflict check would not naturally flag: every
+    pass marks all but its pivot as one signature cluster, so the cluster
+    re-batches (width shrinking by one per level) until ``_REBATCH_DEPTH``
+    exhausts and the remainder drains to the DAG engine.  Results must be
+    bit-identical throughout — including the accepted pivots' vectorized
+    results and the carried warm-state of every re-batched pass.
+    """
+
+    def all_but_pivot(self):
+        bad = np.ones(self.width, dtype=bool)
+        bad[0] = False
+        return bad if self.width >= 3 else np.zeros(self.width, dtype=bool)
+
+    def one_cluster(self, divergent):
+        labels = np.full(self.width, -1, dtype=np.int64)
+        labels[divergent] = 0
+        return labels
+
+    monkeypatch.setattr(BatchTimeline, "order_divergence", all_but_pivot)
+    monkeypatch.setattr(BatchTimeline, "divergence_labels", one_cluster)
+    from repro.sched import batch as batch_mod
+
+    monkeypatch.setattr(batch_mod, "_REBATCH_DEPTH", 2)
+    clear_lowering_cache()
+    sizes = (256, 512, 1024, 2048, 4096, 8192)
+    col = _assert_column_identical("pip-mcoll", "scatter", 2, 2, sizes)
+    # depth 0 (width 6) and depth 1 (width 5) each re-batch one cluster;
+    # depth 2 hits the bound and drains the remaining flagged sizes
+    assert col.stats.retries == 2
+    assert col.stats.rebatch_depth == 2
+    assert col.stats.fallback_sizes  # the depth-exhausted remainder
+    clear_lowering_cache()
+
+
+def test_outcome_cache_elides_adjudication_passes():
+    """A pass known to accept at most its pivot is skipped on repeat
+    evaluations (sizes go straight to the DAG engine) — bit-identically."""
+    clear_lowering_cache()
+    axis = (65536, 98304, 131072, 196608, 262144)
+    col1 = _assert_column_identical("pip-mcoll", "allreduce", 4, 8, axis)
+    assert col1.stats.elided_passes == 0
+    assert col1.stats.fallback_sizes  # contention-bound column
+    col2 = _assert_column_identical("pip-mcoll", "allreduce", 4, 8, axis)
+    assert col2.stats.elided_passes >= 1
+    for s in axis:
+        assert col2.results[s] == col1.results[s]
+    clear_lowering_cache()
+
+
 # -- surface and argument checking ---------------------------------------
 
 
