@@ -29,6 +29,12 @@ Usage::
     python benchmarks/bench_speed.py --batch --smoke # CI gate: one column,
                                                      # exit 1 unless batch
                                                      # beats dag
+    python benchmarks/bench_speed.py --store         # cached-column read
+                                                     # throughput, shards vs
+                                                     # per-file JSON ->
+                                                     # BENCH_store.json
+    python benchmarks/bench_speed.py --store --smoke # CI gate: exit 1
+                                                     # unless store >= 2x
 
 (The file matches the ``bench_*.py`` pytest glob but defines no tests; it
 is a command-line tool.)
@@ -327,6 +333,160 @@ def run_analytic_mode(args) -> int:
     return 0
 
 
+#: the column the store benchmark reads back (any planner-backed column
+#: works; the measurement is pure cache I/O, not simulation)
+STORE_COLUMN = ("PiP-MColl", "allgather", 4, 8)
+STORE_SMOKE_COLUMN = ("PiP-MColl", "allgather", 2, 4)
+
+
+def run_store_mode(args) -> int:
+    """``--store``: cached-column read throughput, shards vs per-file JSON.
+
+    Evaluates one full-axis column once (batch engine), persists it both
+    ways — the columnar shard store and the pre-1.4.0 one-JSON-file-per-
+    point layout — then times reading every point back from cold cache
+    objects.  Bit-identity of both read paths is asserted; the points/sec
+    ratio lands in ``BENCH_store.json`` (the provenance for the >= 5x
+    store-vs-JSON figure in DESIGN.md).
+    """
+    import shutil
+    import tempfile
+
+    from repro.bench.runner.cache import (
+        CACHE_EPOCH,
+        ResultCache,
+        _legacy_point_path,
+        _result_from_doc,
+        cache_key,
+        write_legacy_json_point,
+    )
+    from repro.bench.runner.points import Point
+    from repro.bench.runner.pool import run_sweep_column
+
+    spec = STORE_SMOKE_COLUMN if args.smoke else STORE_COLUMN
+    axis = BATCH_SMOKE_AXIS if args.smoke else BATCH_AXIS
+    reps = args.reps if args.reps is not None else (3 if args.smoke else 5)
+    lib, coll, nodes, ppn = spec
+    points = [
+        Point(lib, coll, nodes, ppn, s, engine="batch") for s in axis
+    ]
+    print(
+        f"store speed: {lib} {coll} {nodes}x{ppn}, {len(axis)}-size axis, "
+        f"best of {reps} reps each"
+    )
+    results = run_sweep_column(points)
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_store_"))
+    try:
+        # populate both layouts (timed once each: write-side comparison)
+        json_root = workdir / "json"
+        t0 = time.perf_counter()
+        for p, r in zip(points, results):
+            write_legacy_json_point(json_root, p, r, epoch=CACHE_EPOCH)
+        json_write_s = time.perf_counter() - t0
+
+        store_root = workdir / "store"
+        writer = ResultCache(store_root)
+        t0 = time.perf_counter()
+        writer.put_many(points, results)
+        store_write_s = time.perf_counter() - t0
+
+        # read-side: fresh cache objects per rep (cold in-memory index;
+        # the OS page cache is warm on both sides).  The JSON loop is the
+        # faithful pre-1.4.0 ``ResultCache.get`` path: hash the point spec
+        # into its key, then stat+open+parse that point's file — the old
+        # layout had no column grouping, so it paid the spec hash on
+        # every point of every read.  The store path pays its (memoized)
+        # column hash inside ``get_many`` just like real sweeps do.
+        json_read_s = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            json_back = [
+                _result_from_doc(
+                    json.loads(
+                        _legacy_point_path(
+                            json_root, cache_key(p)
+                        ).read_bytes()
+                    )
+                )
+                for p in points
+            ]
+            json_read_s = min(json_read_s, time.perf_counter() - t0)
+
+        store_read_s = float("inf")
+        for _ in range(reps):
+            reader = ResultCache(store_root)
+            t0 = time.perf_counter()
+            store_back = reader.get_many(points)
+            store_read_s = min(store_read_s, time.perf_counter() - t0)
+
+        if json_back != results or store_back != results:
+            print("FAIL: read-back is not bit-identical to the computed "
+                  "column")
+            return 1
+        shard_count = ResultCache(store_root).store.shard_count()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    npoints = len(axis)
+    aggregate = {
+        "points": npoints,
+        "json_points_per_sec": npoints / json_read_s,
+        "store_points_per_sec": npoints / store_read_s,
+        "store_vs_json": json_read_s / store_read_s,
+        "json_write_s": json_write_s,
+        "store_write_s": store_write_s,
+    }
+    print(
+        f"  json   read {json_read_s * 1e3:8.2f}ms "
+        f"({aggregate['json_points_per_sec']:10.0f} pts/s, "
+        f"{npoints} files)  write {json_write_s * 1e3:8.2f}ms"
+    )
+    print(
+        f"  store  read {store_read_s * 1e3:8.2f}ms "
+        f"({aggregate['store_points_per_sec']:10.0f} pts/s, "
+        f"{shard_count} shards)  write {store_write_s * 1e3:8.2f}ms"
+    )
+    print(
+        f"aggregate: store {aggregate['store_vs_json']:.1f}x vs per-file "
+        f"JSON on cached-column reads"
+    )
+
+    if args.smoke:
+        # the full-axis committed figure is >= 5x; the smoke axis is
+        # shorter (fixed per-read overheads weigh more), so gate lower —
+        # high enough that a real layout regression still fails
+        if aggregate["store_vs_json"] < 2.0:
+            print("FAIL: store reads under 2x the per-file JSON baseline")
+            return 1
+        print("smoke ok: read-back bit-identical, store faster than JSON")
+        return 0
+
+    out = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_store.json"
+    )
+    doc = {
+        "benchmark": "columnar-store-vs-per-file-json-cache",
+        "python": sys.version.split()[0],
+        "reps": reps,
+        "protocol": (
+            "one full-axis column evaluated once (batch engine), persisted "
+            "as columnar npz shards and as the legacy one-JSON-file-per-"
+            "point layout; best-of-reps wall time reading every point back "
+            "through a cold cache object per rep; bit-identical read-back "
+            "asserted on both paths"
+        ),
+        "column": {
+            "library": lib, "collective": coll, "nodes": nodes, "ppn": ppn,
+            "sizes": npoints,
+        },
+        "aggregate": aggregate,
+    }
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
 def run_batch_mode(args) -> int:
     if args.columns:
         columns = parse_columns(args.columns)
@@ -442,6 +602,14 @@ def main(argv=None) -> int:
              "1 unless analytic is within the error bound and >= 50x)",
     )
     parser.add_argument(
+        "--store", action="store_true",
+        help="cache-throughput benchmark: cached-column reads from the "
+             "columnar shard store vs the per-file JSON layout "
+             "-> BENCH_store.json (with --smoke: short axis, exit 1 "
+             "unless the store beats JSON by 2x with bit-identical "
+             "read-back)",
+    )
+    parser.add_argument(
         "--columns", default=None, metavar="LIB/COLL/NxP,...",
         help="restrict the --batch/--analytic column grid, e.g. "
              "PiP-MColl/scatter/4x8,OpenMPI/allgather/2x16 (CI smoke "
@@ -464,6 +632,8 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.store:
+        return run_store_mode(args)
     if args.analytic:
         return run_analytic_mode(args)
     if args.batch:

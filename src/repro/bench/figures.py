@@ -33,6 +33,7 @@ from repro.shmem.mechanisms import PipShmem
 from repro.util.units import KB, fmt_size
 
 __all__ = [
+    "figure_points",
     "fig01_multiobject_p2p",
     "fig06_scatter_scaling",
     "fig07_allgather_scaling",
@@ -53,6 +54,45 @@ SMALL_COUNTS = [2, 4, 8, 16, 32, 64]  # doubles: 16 B .. 512 B
 LARGE_COUNTS = [1024 * (1 << i) for i in range(10)]  # 1 k .. 512 k doubles
 
 
+def _sweep_points(
+    collective: str,
+    sizes: Sequence[int],
+    libs: Sequence[str],
+    scale: BenchScale,
+    params: Optional[MachineParams],
+    nodes: Optional[int] = None,
+) -> List[Point]:
+    return expand_sweep(
+        collective, sizes, libs, nodes or scale.nodes, scale.ppn, params
+    )
+
+
+def _node_sweep_points(
+    collective: str,
+    nbytes: int,
+    libs: Sequence[str],
+    scale: BenchScale,
+    params: Optional[MachineParams],
+) -> List[Point]:
+    return [
+        Point(lib, collective, nodes, scale.ppn, nbytes, params=params)
+        for nodes in scale.node_sweep
+        for lib in libs
+    ]
+
+
+def _series_from(
+    points: Sequence[Point],
+    libs: Sequence[str],
+    runner: Optional[SweepRunner],
+) -> Dict[str, List[float]]:
+    results = run_points(points, runner)
+    series: Dict[str, List[float]] = {lib: [] for lib in libs}
+    for point, r in zip(points, results):
+        series[point.library].append(r.time)
+    return series
+
+
 def _sweep(
     collective: str,
     sizes: Sequence[int],
@@ -62,14 +102,8 @@ def _sweep(
     nodes: Optional[int] = None,
     runner: Optional[SweepRunner] = None,
 ) -> Dict[str, List[float]]:
-    points = expand_sweep(
-        collective, sizes, libs, nodes or scale.nodes, scale.ppn, params
-    )
-    results = run_points(points, runner)
-    series: Dict[str, List[float]] = {lib: [] for lib in libs}
-    for point, r in zip(points, results):
-        series[point.library].append(r.time)
-    return series
+    points = _sweep_points(collective, sizes, libs, scale, params, nodes)
+    return _series_from(points, libs, runner)
 
 
 def _node_sweep(
@@ -80,16 +114,8 @@ def _node_sweep(
     params: Optional[MachineParams],
     runner: Optional[SweepRunner] = None,
 ) -> Dict[str, List[float]]:
-    points = [
-        Point(lib, collective, nodes, scale.ppn, nbytes, params=params)
-        for nodes in scale.node_sweep
-        for lib in libs
-    ]
-    results = run_points(points, runner)
-    series: Dict[str, List[float]] = {lib: [] for lib in libs}
-    for point, r in zip(points, results):
-        series[point.library].append(r.time)
-    return series
+    points = _node_sweep_points(collective, nbytes, libs, scale, params)
+    return _series_from(points, libs, runner)
 
 
 def _meta(scale: BenchScale, **extra) -> Dict[str, str]:
@@ -314,3 +340,65 @@ ALL_FIGURES = {
     "fig13": fig13_allgather_large,
     "fig14": fig14_allreduce_large,
 }
+
+
+# ---------------------------------------------------------------------------
+# Declarative point lists (incremental regeneration)
+# ---------------------------------------------------------------------------
+
+def _scaling_points(collective, small_bytes, medium_bytes, scale, params):
+    libs = ["PiP-MColl", "PiP-MPICH"]
+    return (
+        _node_sweep_points(collective, small_bytes, libs, scale, params)
+        + _node_sweep_points(collective, medium_bytes, libs, scale, params)
+    )
+
+
+#: per-figure point providers, built from the same helpers the figure
+#: bodies sweep with, so the declarative list cannot drift from the
+#: figure's actual cache traffic.  ``None``: not point-backed (fig01
+#: builds custom p2p worlds and never touches the result store).
+_FIGURE_POINTS = {
+    "fig01": None,
+    "fig06": lambda scale, params: _scaling_points(
+        "scatter", 16, 1 * KB, scale, params),
+    "fig07": lambda scale, params: _scaling_points(
+        "allgather", 16, 1 * KB, scale, params),
+    "fig08": lambda scale, params: _scaling_points(
+        "allreduce", 16 * DOUBLE, 1024 * DOUBLE, scale, params),
+    "fig09": lambda scale, params: _sweep_points(
+        "scatter", SMALL_SIZES, library_names(), scale, params),
+    "fig10": lambda scale, params: _sweep_points(
+        "allgather", SMALL_SIZES, library_names(), scale, params),
+    "fig11": lambda scale, params: _sweep_points(
+        "allreduce", [c * DOUBLE for c in SMALL_COUNTS],
+        library_names(), scale, params),
+    "fig12": lambda scale, params: _sweep_points(
+        "scatter", LARGE_SIZES, library_names(), scale, params),
+    "fig13": lambda scale, params: _sweep_points(
+        "allgather", LARGE_SIZES,
+        library_names(include_variants=True), scale, params),
+    "fig14": lambda scale, params: _sweep_points(
+        "allreduce", [c * DOUBLE for c in LARGE_COUNTS],
+        library_names(include_variants=True), scale, params),
+}
+
+
+def figure_points(
+    name: str,
+    scale: Optional[BenchScale] = None,
+    params: Optional[MachineParams] = None,
+) -> Optional[List[Point]]:
+    """The declarative :class:`Point` list backing a figure at ``scale``.
+
+    ``None`` for figures that are not point-backed (fig01).  The
+    incremental path in ``repro.bench.record`` fingerprints these points'
+    column groups (see :mod:`repro.bench.manifest`) to decide whether a
+    figure's backing shards changed since it was last rendered.
+    """
+    if name not in ALL_FIGURES:
+        raise KeyError(f"unknown figure {name!r}")
+    provider = _FIGURE_POINTS[name]
+    if provider is None:
+        return None
+    return provider(scale or current_scale(), params)

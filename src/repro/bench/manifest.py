@@ -1,0 +1,93 @@
+"""Figure regeneration manifest — incremental ``repro.bench.record``.
+
+A figure's series are a pure function of the results backing it, and
+those results live in the columnar store as append-only shards grouped by
+column key.  So "does this figure need regenerating?" reduces to "did any
+backing shard change?": the :class:`FigureManifest` fingerprints the
+shard file set (names and sizes — shards are append-only, so the set only
+ever grows or is cleared) of every column group a figure's declarative
+point list touches (:func:`repro.bench.figures.figure_points`), plus the
+cache epoch, and ``record --incremental`` skips figures whose fingerprint
+matches the one recorded after their last regeneration.
+
+The manifest is one JSON document next to the shards
+(``<cache_root>/figures_manifest.json``), keyed by
+``figure@scale/engine``.  Deleting it, clearing the cache, bumping the
+epoch, ``--refresh``, or any new shard in a backing group all invalidate
+the affected figures; figures that are not point-backed (fig01 builds
+custom p2p worlds) are never skipped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+import repro
+from repro.bench.runner.cache import ResultCache, column_key
+from repro.bench.runner.points import Point
+
+__all__ = ["FigureManifest", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "figures_manifest.json"
+
+
+class FigureManifest:
+    """Fingerprints of the shard state each figure was last rendered from."""
+
+    def __init__(self, path: "Path | str"):
+        self.path = Path(path)
+        try:
+            data = json.loads(self.path.read_text())
+            self._data = data if isinstance(data, dict) else {}
+        except (OSError, ValueError):
+            self._data = {}
+
+    @staticmethod
+    def figure_id(name: str, scale_name: str, engine: Optional[str]) -> str:
+        """Manifest key: one entry per (figure, scale, engine override)."""
+        return f"{name}@{scale_name}/{engine or 'point-default'}"
+
+    def fingerprint(
+        self,
+        cache: ResultCache,
+        points: List[Point],
+        extra: Iterable[str] = (),
+    ) -> str:
+        """Hash of the shard files backing ``points`` (plus the epoch).
+
+        Append-only shards never change in place, so (name, size) pairs
+        identify the group state exactly; any new/removed shard — a
+        recomputed point, a cleared cache — changes the fingerprint.
+        """
+        keys = sorted({column_key(p) for p in points})
+        shards = []
+        for key in keys:
+            for path in cache.store.shard_files(key):
+                try:
+                    shards.append((path.name, path.stat().st_size))
+                except OSError:
+                    continue
+        payload = json.dumps(
+            {
+                "epoch": repro.__version__,
+                "keys": keys,
+                "shards": shards,
+                "extra": sorted(extra),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def is_fresh(self, figure_id: str, fingerprint: str) -> bool:
+        return self._data.get(figure_id) == fingerprint
+
+    def record(self, figure_id: str, fingerprint: str) -> None:
+        self._data[figure_id] = fingerprint
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(self._data, indent=1, sort_keys=True))
+        tmp.replace(self.path)

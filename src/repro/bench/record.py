@@ -5,8 +5,10 @@ the absolute and the normalised tables to a text file (and stdout).  This
 is the tool that produced the measured numbers quoted in EXPERIMENTS.md.
 
 Sweeps execute through :mod:`repro.bench.runner`: points fan out across a
-process pool (``--jobs``) and results are memoized in ``.bench_cache/``
-(``--no-cache`` to bypass, ``--refresh`` to recompute and overwrite).
+process pool (``--jobs``) and results are memoized in the columnar shard
+store under ``.bench_cache/`` (``--no-cache`` to bypass, ``--refresh`` to
+recompute and overwrite-by-append; ``--incremental`` skips figures whose
+backing shards are unchanged since their last recording).
 ``--check`` reruns each figure serially with the cache off and asserts the
 parallel/cached series are bit-identical — the determinism guarantee CI
 leans on.  ``--engine dag`` (or ``auto``) evaluates points on the analytic
@@ -35,10 +37,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from repro.bench.config import SCALES
-from repro.bench.figures import ALL_FIGURES
+from repro.bench.figures import ALL_FIGURES, figure_points
 from repro.bench.microbench import ENGINES
 from repro.bench.report import format_normalized, format_table
 from repro.bench.runner import SweepRunner
@@ -91,9 +94,17 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--cache-stats", action="store_true",
-        help="report result-cache hits/misses/bytes and batch-lowering "
-             "counters (aggregated across pool work units) after the "
-             "figures",
+        help="report result-store hits/misses/bytes (point- and "
+             "column-level), shard count, in-memory index size, and "
+             "batch-lowering counters (aggregated across pool work "
+             "units) after the figures",
+    )
+    parser.add_argument(
+        "--incremental", action="store_true",
+        help="skip figures whose backing store shards are unchanged "
+             "since they were last recorded (tracked in "
+             "figures_manifest.json next to the shards; fig01 is never "
+             "skipped — it is not point-backed)",
     )
     parser.add_argument(
         "--error-report", action="store_true",
@@ -144,6 +155,15 @@ def main(argv=None) -> int:
         engine=args.engine,
     )
 
+    manifest = None
+    if args.incremental:
+        if args.no_cache:
+            parser.error("--incremental requires the result store "
+                         "(drop --no-cache)")
+        from repro.bench.manifest import MANIFEST_NAME, FigureManifest
+
+        manifest = FigureManifest(runner.cache.root / MANIFEST_NAME)
+
     out_path = Path(args.out) if args.out else None
     if out_path:
         out_path.parent.mkdir(parents=True, exist_ok=True)
@@ -154,7 +174,24 @@ def main(argv=None) -> int:
             with out_path.open("a") as fh:
                 fh.write(text + "\n")
 
+    def _manifest_points(name):
+        pts = figure_points(name, scale)
+        if pts is not None and runner.engine is not None:
+            pts = [replace(p, engine=runner.engine) for p in pts]
+        return pts
+
     for name in names:
+        fig_id = fig_points = None
+        if manifest is not None:
+            fig_points = _manifest_points(name)
+            if fig_points is not None:
+                fig_id = manifest.figure_id(name, args.scale, runner.engine)
+                if not args.refresh and manifest.is_fresh(
+                    fig_id, manifest.fingerprint(runner.cache, fig_points)
+                ):
+                    emit(f"   [{name} backing shards unchanged, skipped "
+                         f"(incremental)]\n")
+                    continue
         t0 = time.time()
         result = ALL_FIGURES[name](scale=scale, runner=runner)
         wall = time.time() - t0
@@ -166,6 +203,12 @@ def main(argv=None) -> int:
                 f"{result.best_speedup_vs_fastest_other():.2f}x"
             )
         emit(f"   [{name} done in {wall:.1f}s host time]\n")
+        if fig_id is not None:
+            # fingerprint *after* the run: the sweep flushed its shards,
+            # so the recorded state covers every backing point
+            manifest.record(
+                fig_id, manifest.fingerprint(runner.cache, fig_points)
+            )
         if args.check:
             serial = SweepRunner(jobs=1, use_cache=False, engine=args.engine)
             reference = ALL_FIGURES[name](scale=scale, runner=serial)
@@ -176,9 +219,16 @@ def main(argv=None) -> int:
     if args.cache_stats:
         s = runner.cache.stats()
         emit(
-            f"   [cache: {s['hits']} hits, {s['misses']} misses, "
-            f"{s['stores']} stores, {s['bytes_read']}B read, "
+            f"   [cache: {s['hits']} hits ({s['point_hits']} point / "
+            f"{s['column_hits']} column), {s['misses']} misses "
+            f"({s['point_misses']} point / {s['column_misses']} column), "
+            f"{s['legacy_hits']} legacy, {s['stores']} stores in "
+            f"{s['flushes']} flushes, {s['bytes_read']}B read, "
             f"{s['bytes_written']}B written]"
+        )
+        emit(
+            f"   [store: {s['shards']} shards on disk, index "
+            f"{s['index_groups']} groups / {s['index_entries']} entries]"
         )
         lo = runner.lowering_cache_totals()
         emit(

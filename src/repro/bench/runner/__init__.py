@@ -9,11 +9,13 @@ Every evaluation figure expands into a list of independent, deterministic
   ``os.cpu_count()``) — each point ships to a worker as a picklable spec
   and comes back as a picklable :class:`~repro.bench.microbench.
   MicrobenchResult`;
-* **memoized** through an on-disk cache (``.bench_cache/`` by default)
-  keyed by a stable hash of the package version, the resolved
-  :class:`~repro.hw.params.MachineParams`, the point spec, and the
-  warm-up/measure protocol — re-running a figure is near-instant when
-  nothing relevant changed;
+* **memoized** through an on-disk columnar store (``.bench_cache/`` by
+  default; append-only npz shards, one per column group, see
+  :mod:`repro.bench.runner.store`) keyed by a stable hash of the cache
+  epoch, the resolved :class:`~repro.hw.params.MachineParams`, the point
+  spec, and the warm-up/measure protocol — re-running a figure is
+  near-instant when nothing relevant changed, and a whole size axis
+  reads back with one file open;
 * **deterministically** — serial, parallel, and cache-hit execution return
   bit-identical results (``tests/bench/test_runner.py`` pins this).
 
@@ -25,15 +27,24 @@ Environment knobs (also exposed as CLI flags by ``repro.bench.record``):
 * ``PIPMCOLL_PROGRESS`` — ``1`` prints per-point progress to stderr
 """
 
-from repro.bench.runner.cache import ResultCache, cache_key
+from repro.bench.runner.cache import (
+    CACHE_EPOCH,
+    ResultCache,
+    cache_key,
+    column_key,
+)
 from repro.bench.runner.points import Point, expand_sweep
 from repro.bench.runner.pool import SweepRunner, default_runner, run_points
+from repro.bench.runner.store import ShardStore
 
 __all__ = [
     "Point",
     "expand_sweep",
     "ResultCache",
+    "ShardStore",
+    "CACHE_EPOCH",
     "cache_key",
+    "column_key",
     "SweepRunner",
     "default_runner",
     "run_points",

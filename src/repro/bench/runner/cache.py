@@ -1,78 +1,134 @@
-"""On-disk memoization of microbenchmark results.
+"""On-disk memoization of microbenchmark results — columnar shard store.
 
-Layout: one JSON file per point under ``<root>/<key[:2]>/<key>.json``,
-where ``key`` is a SHA-256 over a canonical JSON encoding of
+Results persist in an append-only columnar store
+(:class:`~repro.bench.runner.store.ShardStore`): npz shards under
+``<root>/shards/<key[:2]>/``, grouped by *column group key* — a SHA-256
+over a canonical JSON encoding of
 
-* the ``repro`` package version,
+* the cache epoch (:data:`CACHE_EPOCH`, bumped with the package version
+  whenever simulation-relevant behaviour changes),
 * the fully resolved :class:`~repro.hw.params.MachineParams`,
-* the point spec (library, collective, shape, size), and
+* the column spec (the point spec with ``msg_bytes`` removed: library,
+  collective, shape, thresholds, engine), and
 * the warm-up/measure protocol.
 
-Column sweeps additionally use a *column store* under
-``<root>/columns/<key[:2]>/<key>.json``: one JSON document per column
-(the point spec with ``msg_bytes`` removed), mapping message size to the
-same result schema.  :meth:`ResultCache.get_many` /
-:meth:`ResultCache.put_many` touch that one file once per call, so a
-60-size column costs one read and one write instead of 120 file
-operations — the I/O analogue of the batch engine evaluating the column
-in one pass.
+Every size along one figure curve shares a group, so a whole 121-size
+axis reads back with one file open instead of one ``stat`` + ``open`` +
+``json.loads`` per point — the I/O analogue of the batch engine
+evaluating the column in one pass (``benchmarks/bench_speed.py --store``
+measures the ratio into ``BENCH_store.json``).  Writes buffer in memory
+and flush as whole shards (:meth:`ResultCache.flush`; the sweep runner
+flushes at the end of every run), so a point-per-put sweep costs a
+handful of shard files, not thousands of JSON files.
 
 The simulator is deterministic, so a hit is exact — bit-identical to
-recomputation under the same version.  The key does **not** hash source
+recomputation under the same epoch.  The key does **not** hash source
 code: re-running a figure after an unrelated code change is the use case.
-If you changed simulation-relevant code without bumping the version, pass
+If you changed simulation-relevant code without bumping the epoch, pass
 ``refresh=True`` (CLI ``--refresh``) or delete the cache directory.
 
-Writes are atomic (tmp file + ``os.replace``) so concurrent pool workers
-and parallel pytest runs can share one cache directory; corrupted or
-unreadable entries are treated as misses and removed.  Column writes
-merge into the existing document before replacing it, so two sweeps over
-different axes of the same column both land.
+Shards are crash-safe (temp file + ``os.replace``; damaged shards are
+skipped and removed, see :mod:`repro.bench.runner.store`) and append-only,
+so concurrent pool workers, parallel pytest runs, and overlapping sweeps
+of the same column all land without read-merge-replace races.
+
+**Legacy JSON fallback (one release).**  Caches written before the 1.4.0
+epoch used one JSON file per point (``<root>/<key[:2]>/<key>.json``) and
+per column (``<root>/columns/...``), keyed under the legacy epoch.  Those
+entries still hit, read-only, through :data:`LEGACY_EPOCHS`: lookups that
+miss the shard store probe migrated legacy shards (``<root>/legacy/``)
+and then the raw JSON tree under the legacy keys.  ``python -m
+repro.bench.runner.cache migrate`` ingests a JSON tree into legacy shards
+once, after which the JSON files can be deleted.  The epoch bump
+guarantees a stale JSON entry can never alias a shard entry: the two
+namespaces hash different epoch strings.
 """
 
 from __future__ import annotations
 
+import argparse
 import hashlib
 import json
 import os
+import sys
 import tempfile
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import repro
 from repro.bench.microbench import MicrobenchResult
 from repro.bench.runner.points import Point
+from repro.bench.runner.store import ShardStore
 
-__all__ = ["ResultCache", "cache_key", "column_key", "default_cache_dir"]
+__all__ = [
+    "ResultCache", "cache_key", "column_key", "default_cache_dir",
+    "CACHE_EPOCH", "LEGACY_EPOCHS", "migrate",
+    "write_legacy_json_point", "write_legacy_json_column",
+]
 
 _ENV_DIR = "PIPMCOLL_CACHE_DIR"
 _DEFAULT_DIR = ".bench_cache"
+
+#: the current cache-key epoch.  Tracks the package version: bump
+#: ``repro.__version__`` whenever a change alters simulated results (new
+#: engine semantics, cost-model changes, protocol changes) so stale
+#: entries can never alias fresh ones.  See DESIGN.md §5 for the policy.
+CACHE_EPOCH = repro.__version__
+
+#: epochs whose pre-shard JSON caches are still readable (read-only
+#: fallback, kept for one release after the columnar store landed)
+LEGACY_EPOCHS = ("1.3.0",)
 
 
 def default_cache_dir() -> Path:
     return Path(os.environ.get(_ENV_DIR, _DEFAULT_DIR))
 
 
-def cache_key(point: Point) -> str:
-    """Stable content hash identifying one point's result."""
-    payload = {"version": repro.__version__, "point": point.spec_dict()}
+def cache_key(point: Point, epoch: Optional[str] = None) -> str:
+    """Stable content hash identifying one point's result.
+
+    ``epoch`` defaults to :data:`CACHE_EPOCH`; the legacy fallback passes
+    entries of :data:`LEGACY_EPOCHS` to reproduce pre-shard JSON keys.
+    """
+    payload = {"version": epoch or CACHE_EPOCH, "point": point.spec_dict()}
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def column_key(point: Point) -> str:
-    """Stable content hash identifying a point's *column*.
+#: memoized column hashes — hashing a resolved ``MachineParams`` spec is
+#: ~0.5 ms, which would dominate cached-column reads if paid per point;
+#: every size along a column shares the hash, so memoize it by the
+#: point's hashable column identity (all spec fields but ``msg_bytes``)
+_COLUMN_KEY_MEMO: Dict[tuple, str] = {}
+
+
+def column_key(point: Point, epoch: Optional[str] = None) -> str:
+    """Stable content hash identifying a point's *column group*.
 
     The column is the point spec with ``msg_bytes`` removed: every size
     along one figure curve shares it.  Engine, thresholds, params and the
     protocol all stay in the key, so the column store aliases exactly as
-    much as the per-point store does — nothing.
+    much as the per-point key does — nothing.
     """
-    spec = point.spec_dict()
-    del spec["msg_bytes"]
-    payload = {"version": repro.__version__, "column": spec}
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    epoch = epoch or CACHE_EPOCH
+    ident = (
+        point.library, point.collective, point.nodes, point.ppn,
+        point.warmup, point.measure, point.params, point.thresholds,
+        point.engine, epoch,
+    )
+    key = _COLUMN_KEY_MEMO.get(ident)
+    if key is None:
+        spec = point.spec_dict()
+        del spec["msg_bytes"]
+        payload = {"version": epoch, "column": spec}
+        canonical = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        )
+        key = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        if len(_COLUMN_KEY_MEMO) >= 65536:
+            _COLUMN_KEY_MEMO.clear()
+        _COLUMN_KEY_MEMO[ident] = key
+    return key
 
 
 def _result_doc(result: MicrobenchResult) -> dict:
@@ -117,175 +173,405 @@ def _atomic_write(path: Path, encoded: bytes) -> None:
         raise
 
 
-class ResultCache:
-    """A directory of memoized :class:`MicrobenchResult` values."""
+# -- legacy JSON layout (pre-1.4.0 caches; read-only + migration) ----------
 
-    def __init__(self, root: "Path | str | None" = None):
+
+def _legacy_point_path(root: Path, key: str) -> Path:
+    return root / key[:2] / f"{key}.json"
+
+
+def _legacy_column_path(root: Path, key: str) -> Path:
+    return root / "columns" / key[:2] / f"{key}.json"
+
+
+def write_legacy_json_point(
+    root: "Path | str", point: Point, result: MicrobenchResult,
+    epoch: str = LEGACY_EPOCHS[0],
+) -> Path:
+    """Write one pre-shard per-point JSON entry (tests and benchmarks
+    fabricate legacy caches with this; production code never writes JSON)."""
+    path = _legacy_point_path(Path(root), cache_key(point, epoch))
+    doc = {"version": epoch, **_result_doc(result)}
+    _atomic_write(path, json.dumps(doc, separators=(",", ":")).encode())
+    return path
+
+
+def write_legacy_json_column(
+    root: "Path | str",
+    points: Sequence[Point],
+    results: Sequence[MicrobenchResult],
+    epoch: str = LEGACY_EPOCHS[0],
+) -> Path:
+    """Write one pre-shard column JSON document (see
+    :func:`write_legacy_json_point`); all points must share a column."""
+    keys = {column_key(p, epoch) for p in points}
+    if len(keys) != 1:
+        raise ValueError(f"points span {len(keys)} columns, expected 1")
+    path = _legacy_column_path(Path(root), keys.pop())
+    entries = {
+        str(p.msg_bytes): _result_doc(r) for p, r in zip(points, results)
+    }
+    doc = {"version": epoch, "entries": entries}
+    _atomic_write(path, json.dumps(doc, separators=(",", ":")).encode())
+    return path
+
+
+class ResultCache:
+    """Memoized :class:`MicrobenchResult` values in a columnar store.
+
+    Reads consult, in order: the in-memory write buffer, the shard store,
+    migrated legacy shards, and (read-only) any pre-1.4.0 JSON tree left
+    in the same directory.  Writes buffer in memory per column group and
+    publish as whole shards on :meth:`flush` — called automatically once
+    ``flush_threshold`` rows are pending, by :meth:`put_many` (a column
+    is a natural batch), and by the sweep runner at the end of each run.
+    """
+
+    def __init__(
+        self, root: "Path | str | None" = None, flush_threshold: int = 256
+    ):
         self.root = Path(root) if root is not None else default_cache_dir()
-        #: hits/misses/stores since construction (for tests and reporting)
-        self.hits = 0
-        self.misses = 0
+        self.store = ShardStore(self.root / "shards")
+        self._legacy = ShardStore(self.root / "legacy")
+        self.flush_threshold = flush_threshold
+        #: counters since construction (``--cache-stats`` reporting);
+        #: point_* from :meth:`get`, column_* from :meth:`get_many` — the
+        #: same per-point accounting, split by access path
+        self.point_hits = 0
+        self.point_misses = 0
+        self.column_hits = 0
+        self.column_misses = 0
+        self.legacy_hits = 0
         self.stores = 0
-        #: entry bytes deserialized on hits / serialized on stores
-        self.bytes_read = 0
-        self.bytes_written = 0
+        self.flushes = 0
+        self._json_bytes_read = 0
+        #: pending rows, keyed by column group then message size
+        self._pending: Dict[str, Dict[int, MicrobenchResult]] = {}
+        self._pending_rows = 0
+        #: memoized legacy column JSON documents (read-only, so safe)
+        self._legacy_cols: Dict[str, Optional[dict]] = {}
+
+    # -- aggregate counters ---------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Point-level and column-level hits, counted identically."""
+        return self.point_hits + self.column_hits
+
+    @property
+    def misses(self) -> int:
+        return self.point_misses + self.column_misses
+
+    @property
+    def bytes_read(self) -> int:
+        return (
+            self.store.bytes_read + self._legacy.bytes_read
+            + self._json_bytes_read
+        )
+
+    @property
+    def bytes_written(self) -> int:
+        return self.store.bytes_written
 
     def stats(self) -> dict:
-        """Counters since construction (``--cache-stats`` reporting)."""
+        """Counters since construction plus store shape (shards, index)."""
+        index = self.store.index_stats()
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "point_hits": self.point_hits,
+            "point_misses": self.point_misses,
+            "column_hits": self.column_hits,
+            "column_misses": self.column_misses,
+            "legacy_hits": self.legacy_hits,
             "stores": self.stores,
+            "flushes": self.flushes,
+            "pending_rows": self._pending_rows,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
+            "shards": self.store.shard_count(),
+            "index_groups": index["groups"],
+            "index_entries": index["entries"],
         }
 
-    def _path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.json"
+    # -- lookups ---------------------------------------------------------
 
-    def _column_path(self, key: str) -> Path:
-        return self.root / "columns" / key[:2] / f"{key}.json"
+    def _lookup(self, point: Point, key: str) -> Optional[MicrobenchResult]:
+        pending = self._pending.get(key)
+        if pending is not None and point.msg_bytes in pending:
+            return pending[point.msg_bytes]
+        row = self.store.group(key).get(point.msg_bytes)
+        if row is None:
+            row = self._legacy_lookup(point)
+            if row is not None:
+                self.legacy_hits += 1
+        return row
 
-    def get(self, point: Point) -> Optional[MicrobenchResult]:
-        """The cached result for ``point``, or ``None`` on a miss."""
-        path = self._path(cache_key(point))
-        try:
-            raw = path.read_bytes()
-            result = _result_from_doc(json.loads(raw))
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except (OSError, ValueError, KeyError, TypeError):
-            # corrupted / truncated / wrong-schema entry: drop and recompute
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            self.misses += 1
-            return None
-        self.hits += 1
-        self.bytes_read += len(raw)
-        return result
-
-    def put(self, point: Point, result: MicrobenchResult) -> None:
-        """Store ``result`` atomically (safe under concurrent writers)."""
-        path = self._path(cache_key(point))
-        doc = {"version": repro.__version__, **_result_doc(result)}
-        encoded = json.dumps(doc, separators=(",", ":")).encode("utf-8")
-        _atomic_write(path, encoded)
-        self.stores += 1
-        self.bytes_written += len(encoded)
-
-    # -- column (bulk) interface ----------------------------------------
-
-    def _read_column(self, path: Path) -> Optional[dict]:
-        """The column document at ``path``, or ``None`` (bad file → drop)."""
-        try:
-            raw = path.read_bytes()
-            doc = json.loads(raw)
-            entries = doc["entries"]
-            if not isinstance(entries, dict):
-                raise TypeError("column entries must be an object")
-        except FileNotFoundError:
-            return None
-        except (OSError, ValueError, KeyError, TypeError):
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
-        self.bytes_read += len(raw)
-        return entries
-
-    def get_many(
-        self, points: Sequence[Point]
-    ) -> List[Optional[MicrobenchResult]]:
-        """Cached results for ``points``, one column file read per column.
-
-        Points may span several columns; each distinct column document is
-        read at most once.  Per-point hit/miss accounting matches what a
-        :meth:`get` loop would record; ``bytes_read`` counts each column
-        file once.  A point whose entry is absent or malformed is a miss.
-        """
-        docs: dict = {}
-        out: List[Optional[MicrobenchResult]] = []
-        for point in points:
-            key = column_key(point)
-            if key not in docs:
-                docs[key] = self._read_column(self._column_path(key))
-            entries = docs[key]
-            result = None
+    def _legacy_lookup(self, point: Point) -> Optional[MicrobenchResult]:
+        """Read-only fallback: migrated legacy shards, then raw JSON."""
+        for epoch in LEGACY_EPOCHS:
+            col_key = column_key(point, epoch)
+            pt_key = cache_key(point, epoch)
+            for legacy_key in (col_key, pt_key):
+                row = self._legacy.group(legacy_key).get(point.msg_bytes)
+                if row is not None:
+                    return row
+            entries = self._read_legacy_column_json(col_key)
             if entries is not None:
                 doc = entries.get(str(point.msg_bytes))
                 if doc is not None:
                     try:
-                        result = _result_from_doc(doc)
+                        return _result_from_doc(doc)
                     except (ValueError, KeyError, TypeError):
-                        result = None
-            if result is None:
-                self.misses += 1
+                        pass
+            row = self._read_legacy_point_json(pt_key)
+            if row is not None:
+                return row
+        return None
+
+    def _read_legacy_column_json(self, key: str) -> Optional[dict]:
+        if key in self._legacy_cols:
+            return self._legacy_cols[key]
+        entries: Optional[dict] = None
+        try:
+            raw = _legacy_column_path(self.root, key).read_bytes()
+            doc = json.loads(raw)
+            if isinstance(doc.get("entries"), dict):
+                entries = doc["entries"]
+                self._json_bytes_read += len(raw)
+        except (OSError, ValueError):
+            pass
+        self._legacy_cols[key] = entries
+        return entries
+
+    def _read_legacy_point_json(self, key: str) -> Optional[MicrobenchResult]:
+        try:
+            raw = _legacy_point_path(self.root, key).read_bytes()
+            result = _result_from_doc(json.loads(raw))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        self._json_bytes_read += len(raw)
+        return result
+
+    def get(self, point: Point) -> Optional[MicrobenchResult]:
+        """The cached result for ``point``, or ``None`` on a miss."""
+        row = self._lookup(point, column_key(point))
+        if row is None:
+            self.point_misses += 1
+        else:
+            self.point_hits += 1
+        return row
+
+    def get_many(
+        self, points: Sequence[Point]
+    ) -> List[Optional[MicrobenchResult]]:
+        """Cached results for ``points``, one group scan per column.
+
+        Points may span several columns; each group's shards are read at
+        most once (the store memoizes merged views).  Hit/miss accounting
+        is per point, identical to a :meth:`get` loop, tallied under the
+        ``column_*`` counters.
+        """
+        out: List[Optional[MicrobenchResult]] = []
+        for point in points:
+            row = self._lookup(point, column_key(point))
+            if row is None:
+                self.column_misses += 1
             else:
-                self.hits += 1
-            out.append(result)
+                self.column_hits += 1
+            out.append(row)
         return out
+
+    # -- writes ----------------------------------------------------------
+
+    def put(self, point: Point, result: MicrobenchResult) -> None:
+        """Buffer ``result``; durable after the next :meth:`flush`.
+
+        Within the buffer, a repeated put of the same (column, size)
+        overwrites — same last-write-wins the append-only shard merge
+        applies on disk.
+        """
+        group = self._pending.setdefault(column_key(point), {})
+        if point.msg_bytes not in group:
+            self._pending_rows += 1
+        group[point.msg_bytes] = result
+        self.stores += 1
+        if self._pending_rows >= self.flush_threshold:
+            self.flush()
 
     def put_many(
         self, points: Sequence[Point], results: Sequence[MicrobenchResult]
     ) -> None:
-        """Store results, one merged column file write per column.
-
-        Merges into the existing document (read once per column) before
-        the atomic replace, so sweeps over different axes of the same
-        column accumulate instead of clobbering each other.
-        """
+        """Store a batch (typically one column) and flush it as shards."""
         if len(points) != len(results):
             raise ValueError(
                 f"{len(points)} points but {len(results)} results"
             )
-        by_col: dict = {}
         for point, result in zip(points, results):
-            by_col.setdefault(column_key(point), []).append((point, result))
-        for key, pairs in by_col.items():
-            path = self._column_path(key)
-            entries = self._read_column(path) or {}
-            for point, result in pairs:
-                entries[str(point.msg_bytes)] = _result_doc(result)
-                self.stores += 1
-            doc = {"version": repro.__version__, "entries": entries}
-            encoded = json.dumps(doc, separators=(",", ":")).encode("utf-8")
-            _atomic_write(path, encoded)
-            self.bytes_written += len(encoded)
+            group = self._pending.setdefault(column_key(point), {})
+            if point.msg_bytes not in group:
+                self._pending_rows += 1
+            group[point.msg_bytes] = result
+            self.stores += 1
+        self.flush()
+
+    def flush(self) -> int:
+        """Publish pending rows, one shard per column group; returns rows
+        written.  Crash-safe: a shard appears fully or not at all."""
+        written = 0
+        if not self._pending:
+            return 0
+        for key, rows in self._pending.items():
+            ordered = [rows[size] for size in sorted(rows)]
+            self.store.append(key, ordered)
+            written += len(ordered)
+        self._pending.clear()
+        self._pending_rows = 0
+        self.flushes += 1
+        return written
+
+    # -- maintenance ------------------------------------------------------
 
     def clear(self) -> int:
-        """Delete every entry (point and column); returns files removed."""
-        removed = 0
-        if not self.root.exists():
-            return 0
-        for entry in self.root.glob("*/*.json"):
-            try:
-                entry.unlink()
-                removed += 1
-            except OSError:
-                pass
-        for entry in self.root.glob("columns/*/*.json"):
-            try:
-                entry.unlink()
-                removed += 1
-            except OSError:
-                pass
+        """Delete every entry (shards, legacy shards, legacy JSON);
+        discards pending rows; returns files removed."""
+        self._pending.clear()
+        self._pending_rows = 0
+        self._legacy_cols.clear()
+        removed = self.store.clear() + self._legacy.clear()
+        if self.root.exists():
+            for pattern in ("*/*.json", "columns/*/*.json"):
+                for entry in self.root.glob(pattern):
+                    try:
+                        entry.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
         return removed
 
     def __len__(self) -> int:
-        """Point entries plus column entries (not files) on disk."""
-        if not self.root.exists():
-            return 0
-        # point files sit at <k2>/<key>.json; column files one level deeper
-        # under columns/, so the first glob cannot double-count them
-        n = sum(1 for _ in self.root.glob("*/*.json"))
-        for path in self.root.glob("columns/*/*.json"):
-            try:
-                doc = json.loads(path.read_bytes())
-                n += len(doc["entries"])
-            except (OSError, ValueError, KeyError, TypeError):
-                pass
+        """Entries on disk: shard rows plus legacy shard rows plus legacy
+        JSON entries (pending rows are not yet entries)."""
+        n = self.store.entry_count() + self._legacy.entry_count()
+        if self.root.exists():
+            for path in self.root.glob("*/*.json"):
+                if path.parent.parent.name == "columns":
+                    continue
+                n += 1
+            for path in self.root.glob("columns/*/*.json"):
+                try:
+                    n += len(json.loads(path.read_bytes())["entries"])
+                except (OSError, ValueError, KeyError, TypeError):
+                    pass
         return n
+
+
+# -- migration tool ---------------------------------------------------------
+
+
+def migrate(
+    root: "Path | str | None" = None, purge_json: bool = False
+) -> Dict[str, int]:
+    """Ingest a pre-1.4.0 JSON cache tree into legacy shards.
+
+    Per-point files become one-row shards and column documents become
+    whole-column shards, both under ``<root>/legacy/`` keyed by the
+    *legacy* key the JSON file was stored under (the filename) — lookups
+    probe those keys through :data:`LEGACY_EPOCHS`, so migrated entries
+    keep hitting bit-identically.  Idempotent: entries already present in
+    the legacy store are skipped.  ``purge_json=True`` removes each JSON
+    file after successful ingestion.
+    """
+    root = Path(root) if root is not None else default_cache_dir()
+    legacy = ShardStore(root / "legacy")
+    counts = {
+        "point_files": 0, "column_files": 0, "entries": 0,
+        "skipped_entries": 0, "corrupt_files": 0, "purged_files": 0,
+    }
+
+    def ingest(key: str, rows: List[MicrobenchResult]) -> None:
+        have = legacy.group(key)
+        fresh = [r for r in rows if r.msg_bytes not in have]
+        counts["skipped_entries"] += len(rows) - len(fresh)
+        if fresh:
+            legacy.append(key, fresh)
+            counts["entries"] += len(fresh)
+
+    if root.exists():
+        for path in sorted(root.glob("*/*.json")):
+            if path.parent.name in ("columns", "shards", "legacy"):
+                continue
+            try:
+                row = _result_from_doc(json.loads(path.read_bytes()))
+            except (OSError, ValueError, KeyError, TypeError):
+                counts["corrupt_files"] += 1
+                continue
+            ingest(path.stem, [row])
+            counts["point_files"] += 1
+            if purge_json:
+                path.unlink(missing_ok=True)
+                counts["purged_files"] += 1
+        for path in sorted(root.glob("columns/*/*.json")):
+            try:
+                entries = json.loads(path.read_bytes())["entries"]
+                rows = [_result_from_doc(doc) for doc in entries.values()]
+            except (OSError, ValueError, KeyError, TypeError):
+                counts["corrupt_files"] += 1
+                continue
+            ingest(path.stem, rows)
+            counts["column_files"] += 1
+            if purge_json:
+                path.unlink(missing_ok=True)
+                counts["purged_files"] += 1
+    return counts
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.runner.cache",
+        description="Result-cache maintenance tools.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    mig = sub.add_parser(
+        "migrate",
+        help="ingest a pre-1.4.0 JSON cache tree into legacy shards "
+             "(idempotent; old entries keep hitting afterwards)",
+    )
+    mig.add_argument(
+        "--root", default=None,
+        help=f"cache directory (default: ${_ENV_DIR} or {_DEFAULT_DIR})",
+    )
+    mig.add_argument(
+        "--purge-json", action="store_true",
+        help="delete each JSON file after successful ingestion",
+    )
+    stats = sub.add_parser(
+        "stats", help="print store shape (shards, entries, legacy files)"
+    )
+    stats.add_argument("--root", default=None)
+    args = parser.parse_args(argv)
+
+    root = Path(args.root) if args.root else default_cache_dir()
+    if args.command == "migrate":
+        counts = migrate(root, purge_json=args.purge_json)
+        print(
+            f"migrated {counts['point_files']} point files and "
+            f"{counts['column_files']} column files -> "
+            f"{counts['entries']} new entries "
+            f"({counts['skipped_entries']} already present, "
+            f"{counts['corrupt_files']} corrupt files skipped, "
+            f"{counts['purged_files']} JSON files purged) under {root}"
+        )
+        return 0
+    cache = ResultCache(root)
+    print(
+        f"{root}: {cache.store.shard_count()} shards, "
+        f"{cache.store.entry_count()} entries, "
+        f"{cache._legacy.shard_count()} legacy shards, "
+        f"{cache._legacy.entry_count()} legacy entries"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -12,7 +12,7 @@ machinery: the runner groups them into *columns* — points identical except
 for ``msg_bytes`` — and ships each column as one work unit
 (:func:`run_sweep_column`), which evaluates the whole size axis in one
 vectorized pass (:func:`repro.sched.batch.evaluate_column`) and reads and
-writes the result cache one column file at a time
+writes the columnar result store one column-group shard at a time
 (:meth:`~repro.bench.runner.cache.ResultCache.get_many` /
 :meth:`~repro.bench.runner.cache.ResultCache.put_many`).  ``auto`` points
 upgrade to the column route automatically when the pair is planner-backed
@@ -299,41 +299,50 @@ class SweepRunner:
             else:
                 pending.append(i)
 
-        # 2. compute misses (pool or serial); each column is one work unit
-        if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                computed = self._map_pool(
-                    run_point_spec, [points[i] for i in pending]
-                )
-            else:
-                computed = map(run_point_spec, (points[i] for i in pending))
-            for i, result in zip(pending, computed):
-                results[i] = result
-                if self.use_cache:
-                    self.cache.put(points[i], result)
-                done += 1
-                if self.progress:
-                    self.progress(done, total, points[i], "run")
-        if col_pending:
-            groups = [[points[i] for i in idxs]
-                      for idxs in col_pending.values()]
-            if self.jobs > 1 and len(groups) > 1:
-                computed_cols = self._map_pool(run_sweep_column_stats, groups)
-            else:
-                computed_cols = map(run_sweep_column_stats, groups)
-            for idxs, group, (col_results, lower_delta) in zip(
-                col_pending.values(), groups, computed_cols
-            ):
-                self._lowering_totals["hits"] += lower_delta["hits"]
-                self._lowering_totals["misses"] += lower_delta["misses"]
-                self._lowering_totals["columns"] += 1
-                if self.use_cache:
-                    self.cache.put_many(group, col_results)
-                for i, result in zip(idxs, col_results):
+        # 2. compute misses (pool or serial); each column is one work unit.
+        # Point-routed puts buffer in the cache and flush as whole shards
+        # in the finally block — the batched-flush half of the columnar
+        # store (column puts are already one shard per put_many call).
+        try:
+            if pending:
+                if self.jobs > 1 and len(pending) > 1:
+                    computed = self._map_pool(
+                        run_point_spec, [points[i] for i in pending]
+                    )
+                else:
+                    computed = map(run_point_spec, (points[i] for i in pending))
+                for i, result in zip(pending, computed):
                     results[i] = result
+                    if self.use_cache:
+                        self.cache.put(points[i], result)
                     done += 1
                     if self.progress:
                         self.progress(done, total, points[i], "run")
+            if col_pending:
+                groups = [[points[i] for i in idxs]
+                          for idxs in col_pending.values()]
+                if self.jobs > 1 and len(groups) > 1:
+                    computed_cols = self._map_pool(
+                        run_sweep_column_stats, groups
+                    )
+                else:
+                    computed_cols = map(run_sweep_column_stats, groups)
+                for idxs, group, (col_results, lower_delta) in zip(
+                    col_pending.values(), groups, computed_cols
+                ):
+                    self._lowering_totals["hits"] += lower_delta["hits"]
+                    self._lowering_totals["misses"] += lower_delta["misses"]
+                    self._lowering_totals["columns"] += 1
+                    if self.use_cache:
+                        self.cache.put_many(group, col_results)
+                    for i, result in zip(idxs, col_results):
+                        results[i] = result
+                        done += 1
+                        if self.progress:
+                            self.progress(done, total, points[i], "run")
+        finally:
+            if self.use_cache:
+                self.cache.flush()
 
         return results  # type: ignore[return-value]
 

@@ -1,0 +1,132 @@
+"""Tests for ``python -m repro.bench.dashboard``.
+
+Two pins: the dashboard must parse every ``BENCH_*.json`` the repository
+actually commits (so a schema drift in ``bench_speed.py`` fails here,
+not in a cron job), and it must flag an injected regression across a
+real git history.
+"""
+
+import json
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.bench.dashboard import headline_metric, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+needs_git = pytest.mark.skipif(
+    shutil.which("git") is None, reason="git not installed"
+)
+
+
+# -- headline metric selection ---------------------------------------------
+
+
+def test_headline_metric_prefers_most_derived_engine():
+    doc = {"aggregate": {
+        "dag_points_per_sec": 1.0,
+        "store_points_per_sec": 2.0,
+        "speedup": 99.0,
+    }}
+    assert headline_metric(doc) == ("store_points_per_sec", 2.0)
+
+
+def test_headline_metric_falls_back_to_any_points_per_sec():
+    doc = {"aggregate": {"custom_points_per_sec": 7.5, "other": 1}}
+    assert headline_metric(doc) == ("custom_points_per_sec", 7.5)
+
+
+def test_headline_metric_rejects_metricless_docs():
+    with pytest.raises(ValueError):
+        headline_metric({"aggregate": {"speedup": 2.0}})
+    with pytest.raises(ValueError):
+        headline_metric({})
+
+
+# -- the committed benchmark documents -------------------------------------
+
+
+def test_every_committed_bench_document_parses():
+    files = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    assert files, "repository must commit at least one BENCH_*.json"
+    for path in files:
+        metric, value = headline_metric(json.loads(path.read_text()))
+        assert metric.endswith("points_per_sec")
+        assert value > 0
+
+
+def test_dashboard_runs_over_the_repository(capsys):
+    rc = main(["--dir", str(REPO_ROOT), "--commits", "0"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
+        assert path.name in out
+
+
+def test_dashboard_exits_2_without_bench_files(tmp_path, capsys):
+    assert main(["--dir", str(tmp_path)]) == 2
+    assert "no BENCH_*.json" in capsys.readouterr().err
+
+
+# -- regression detection across a git history -----------------------------
+
+
+def _git(repo: Path, *args: str) -> None:
+    subprocess.run(
+        ["git", *args], cwd=repo, check=True, capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(repo), "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+def _write_doc(repo: Path, pts_per_sec: float) -> None:
+    (repo / "BENCH_store.json").write_text(json.dumps(
+        {"aggregate": {"store_points_per_sec": pts_per_sec}}
+    ))
+
+
+@needs_git
+def test_dashboard_flags_injected_regression(tmp_path, capsys):
+    repo = tmp_path / "repo"
+    repo.mkdir()
+    _git(repo, "init", "-q")
+    _write_doc(repo, 100_000.0)
+    _git(repo, "add", "BENCH_store.json")
+    _git(repo, "commit", "-qm", "good run")
+    _write_doc(repo, 120_000.0)
+    _git(repo, "add", "BENCH_store.json")
+    _git(repo, "commit", "-qm", "better run")
+
+    # working tree regresses far below threshold x best committed
+    _write_doc(repo, 10_000.0)
+    rc = main(["--dir", str(repo), "--check"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "REGRESSION" in out
+    assert "120000.0" in out  # compared against the best, not the latest
+
+    # without --check the regression is reported but the exit is clean
+    assert main(["--dir", str(repo)]) == 0
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+@needs_git
+def test_dashboard_passes_healthy_history(tmp_path, capsys):
+    repo = tmp_path / "repo"
+    repo.mkdir()
+    _git(repo, "init", "-q")
+    _write_doc(repo, 100_000.0)
+    _git(repo, "add", "BENCH_store.json")
+    _git(repo, "commit", "-qm", "baseline")
+    _write_doc(repo, 95_000.0)  # noise-level dip, above 0.8x
+    rc = main(["--dir", str(repo), "--check"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "ok: within" in out
+    assert "all benchmarks within threshold" in out

@@ -6,8 +6,8 @@ execution, pool execution, and cache hits must produce bit-identical
 stores exact floats), so figures cannot silently depend on ``--jobs``.
 """
 
-import json
 import pickle
+from dataclasses import replace
 
 import pytest
 
@@ -95,29 +95,31 @@ def test_refresh_recomputes_and_overwrites(tmp_path):
     point = POINTS[0]
     real = SweepRunner(jobs=1, use_cache=True, cache=cache).run([point])[0]
     # poison the stored entry so we can tell a recompute from a hit
-    path = cache._path(cache_key(point))
-    doc = json.loads(path.read_text())
-    doc["time"] = -1.0
-    path.write_text(json.dumps(doc))
+    # (append a newer shard: later shards win on merge)
+    cache.store.append(column_key(point), [replace(real, time=-1.0)])
     poisoned = SweepRunner(jobs=1, use_cache=True, cache=cache).run([point])[0]
     assert poisoned.time == -1.0
     refreshed = SweepRunner(
         jobs=1, use_cache=True, cache=cache, refresh=True
     ).run([point])[0]
     assert refreshed == real
-    # and the overwrite stuck
-    assert json.loads(path.read_text())["time"] == real.time
+    # and the overwrite-by-append stuck: a fresh cache reads it from disk
+    assert ResultCache(cache.root).get(point) == real
 
 
 def test_corrupted_entry_is_dropped_and_recomputed(tmp_path):
     cache = _cache(tmp_path)
     point = POINTS[0]
     real = SweepRunner(jobs=1, use_cache=True, cache=cache).run([point])[0]
-    path = cache._path(cache_key(point))
-    path.write_text("{ not json")
-    again = SweepRunner(jobs=1, use_cache=True, cache=cache).run([point])[0]
+    shard = next((cache.root / "shards").glob("*/*.npz"))
+    shard.write_bytes(b"{ not an npz shard")
+    fresh = ResultCache(cache.root)
+    assert fresh.get(point) is None
+    # the damaged shard was removed on first scan, not rescanned forever
+    assert not shard.exists()
+    again = SweepRunner(jobs=1, use_cache=True, cache=fresh).run([point])[0]
     assert again == real
-    assert cache.misses >= 1
+    assert fresh.misses >= 1
 
 
 def test_cache_key_distinguishes_every_spec_field(tmp_path):
@@ -293,25 +295,22 @@ def test_auto_upgrades_multi_size_columns_and_stays_identical(tmp_path):
     got = SweepRunner(jobs=1, use_cache=True, cache=cache).run(pts)
     for g, ref in zip(got, _dag_reference(pts)):
         assert g.samples == ref.samples
-    # the upgrade routed the points through the column store: one file
-    # per (library) column, no per-point files
-    assert sorted((cache.root / "columns").glob("*/*.json"))
-    assert not [
-        p for p in cache.root.glob("*/*.json")
-        if p.parent.name != "columns"
-    ]
+    # the upgrade routed the points through the columnar store: npz
+    # shards only, never JSON files
+    assert sorted((cache.root / "shards").glob("*/*.npz"))
+    assert not list(cache.root.rglob("*.json"))
     # and a rerun is pure column hits
     again = SweepRunner(jobs=1, use_cache=True, cache=cache).run(pts)
     assert again == got
     assert cache.hits == len(pts)
 
 
-def test_single_size_auto_point_stays_point_routed(tmp_path):
+def test_single_size_auto_point_lands_in_its_column_group(tmp_path):
     cache = _cache(tmp_path)
     point = Point("PiP-MColl", "allgather", 2, 2, 1024, engine="auto")
     SweepRunner(jobs=1, use_cache=True, cache=cache).run([point])
-    assert not (cache.root / "columns").exists()
     assert len(cache) == 1
+    assert cache.store.shard_count() == 1
 
 
 def test_parallel_column_execution_identical(tmp_path):
@@ -364,17 +363,18 @@ def test_get_many_put_many_round_trip_and_accounting(tmp_path):
     cache.put_many(COLUMN_POINTS, results)
     assert cache.stores == len(COLUMN_POINTS)
     assert cache.bytes_written > 0
-    # one column -> exactly one file on disk
-    assert len(list((cache.root / "columns").glob("*/*.json"))) == 1
+    # one column -> exactly one shard on disk, published by the put_many
+    assert cache.store.shard_count() == 1
+    assert cache.flushes == 1
     assert len(cache) == len(COLUMN_POINTS)
     back = cache.get_many(COLUMN_POINTS)
     assert back == results
     assert cache.hits == len(COLUMN_POINTS)
-    read_after_hits = cache.bytes_read
-    assert read_after_hits > 0
-    # a fresh cache object reads the same entries back from disk
+    # a fresh cache object reads the same entries back from disk (the
+    # writer served its own appends from the in-memory index, read-free)
     fresh = ResultCache(cache.root)
     assert fresh.get_many(COLUMN_POINTS) == results
+    assert fresh.bytes_read > 0
 
 
 def test_put_many_merges_instead_of_clobbering(tmp_path):
@@ -384,17 +384,20 @@ def test_put_many_merges_instead_of_clobbering(tmp_path):
     cache.put_many(first, results[:2])
     cache.put_many(rest, results[2:])
     assert cache.get_many(COLUMN_POINTS) == results
-    assert len(list((cache.root / "columns").glob("*/*.json"))) == 1
+    # append-only: two puts -> two shards of one group, merged on read
+    assert cache.store.shard_count() == 2
+    assert ResultCache(cache.root).get_many(COLUMN_POINTS) == results
 
 
-def test_corrupted_column_file_is_dropped_and_missed(tmp_path):
+def test_corrupted_column_shard_is_dropped_and_missed(tmp_path):
     cache = _cache(tmp_path)
     results = run_sweep_column(COLUMN_POINTS)
     cache.put_many(COLUMN_POINTS, results)
-    path = next((cache.root / "columns").glob("*/*.json"))
-    path.write_text("{ not json")
-    assert cache.get_many(COLUMN_POINTS) == [None] * len(COLUMN_POINTS)
-    assert cache.misses == len(COLUMN_POINTS)
+    path = next((cache.root / "shards").glob("*/*.npz"))
+    path.write_bytes(b"torn write")
+    fresh = ResultCache(cache.root)
+    assert fresh.get_many(COLUMN_POINTS) == [None] * len(COLUMN_POINTS)
+    assert fresh.misses == len(COLUMN_POINTS)
     assert not path.exists()
 
 

@@ -1,0 +1,300 @@
+"""Tests for the columnar shard store — concurrency, damage, migration.
+
+The store's three load-bearing promises (see
+:mod:`repro.bench.runner.store`):
+
+* **append-only** — concurrent writers to the same column group cannot
+  lose each other's rows;
+* **crash-safe** — a torn or truncated shard is skipped and removed,
+  never crashed on, and an interrupted write publishes nothing;
+* **bit-identical** — everything that goes in comes back out exactly,
+  including through the legacy-JSON migration path.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.bench.microbench import MicrobenchResult
+from repro.bench.runner import Point, ResultCache
+from repro.bench.runner.cache import (
+    CACHE_EPOCH,
+    LEGACY_EPOCHS,
+    cache_key,
+    column_key,
+    main as cache_main,
+    migrate,
+    write_legacy_json_column,
+    write_legacy_json_point,
+)
+from repro.bench.runner.pool import run_sweep_column
+from repro.bench.runner.store import ShardStore
+
+AXIS = (64, 1024, 16384, 65536)
+POINTS = [
+    Point("PiP-MColl", "allgather", 2, 2, s, engine="batch") for s in AXIS
+]
+
+
+def _row(msg_bytes: int, time: float = 1.0) -> MicrobenchResult:
+    return MicrobenchResult(
+        library="PiP-MColl", collective="allgather", nodes=2, ppn=2,
+        msg_bytes=msg_bytes, time=time, samples=(time, time + 1e-9),
+        internode_messages=7,
+    )
+
+
+# -- concurrent appends to one column group --------------------------------
+
+
+def test_two_writers_same_group_lose_nothing(tmp_path):
+    """Two cache objects (two pool runs) flushing the same column group:
+    both shards land, the merged view is the union."""
+    a, b = ResultCache(tmp_path), ResultCache(tmp_path)
+    results = run_sweep_column(POINTS)
+    # interleave: each writer holds half the column, flushes unaware of
+    # the other (the read-merge-replace race the JSON layout had)
+    a.put_many(POINTS[:2], results[:2])
+    b.put_many(POINTS[2:], results[2:])
+    fresh = ResultCache(tmp_path)
+    assert fresh.get_many(POINTS) == results
+    assert fresh.store.shard_count() == 2
+
+
+def _append_worker(args):
+    root, key, sizes = args
+    store = ShardStore(root)
+    store.append(key, [_row(s) for s in sizes])
+    return True
+
+
+def test_concurrent_process_appends_all_land(tmp_path):
+    """Real concurrency: several processes append to the same group at
+    once; the pid filename suffix breaks sequence-number ties, so every
+    shard publishes and the merged view holds every row."""
+    key = column_key(POINTS[0])
+    sizes = [tuple(range(i * 10, i * 10 + 5)) for i in range(4)]
+    with multiprocessing.get_context("spawn").Pool(4) as pool:
+        done = pool.map(
+            _append_worker, [(str(tmp_path), key, s) for s in sizes]
+        )
+    assert all(done)
+    store = ShardStore(tmp_path)
+    merged = store.group(key)
+    assert set(merged) == {s for group in sizes for s in group}
+    assert store.shard_count() == 4
+
+
+def test_append_sequence_numbers_advance_past_existing_shards(tmp_path):
+    first = ShardStore(tmp_path)
+    first.append("aa" * 32, [_row(1)])
+    # a second store object (separate runner) scans disk for the floor
+    second = ShardStore(tmp_path)
+    second.append("aa" * 32, [_row(2)])
+    names = sorted(p.name for p in first.shard_files("aa" * 32))
+    assert [n.split(".")[1].split("-")[0] for n in names] == ["0000", "0001"]
+
+
+def test_later_shards_win_per_size(tmp_path):
+    store = ShardStore(tmp_path)
+    key = "bb" * 32
+    store.append(key, [_row(64, time=1.0), _row(128, time=2.0)])
+    store.append(key, [_row(64, time=9.0)])
+    fresh = ShardStore(tmp_path)
+    merged = fresh.group(key)
+    assert merged[64].time == 9.0  # overwritten by the later shard
+    assert merged[128].time == 2.0  # untouched
+
+
+# -- damage tolerance ------------------------------------------------------
+
+
+def test_truncated_shard_is_skipped_and_removed(tmp_path):
+    store = ShardStore(tmp_path)
+    key = "cc" * 32
+    store.append(key, [_row(64)])
+    store.append(key, [_row(128)])
+    shards = store.shard_files(key)
+    # truncate the first shard mid-file: a torn write survived a crash
+    raw = shards[0].read_bytes()
+    shards[0].write_bytes(raw[: len(raw) // 2])
+    fresh = ShardStore(tmp_path)
+    merged = fresh.group(key)
+    assert set(merged) == {128}  # intact shard still serves
+    assert not shards[0].exists()  # damaged one removed
+    assert shards[1].exists()
+
+
+def test_empty_shard_file_is_skipped_and_removed(tmp_path):
+    store = ShardStore(tmp_path)
+    key = "dd" * 32
+    store.append(key, [_row(64)])
+    (path,) = store.shard_files(key)
+    path.write_bytes(b"")
+    fresh = ShardStore(tmp_path)
+    assert fresh.group(key) == {}
+    assert not path.exists()
+
+
+def test_stray_tmp_file_is_never_read_as_a_shard(tmp_path):
+    """A crash between mkstemp and os.replace leaves a ``*.tmp`` the
+    readers must ignore (it does not match the shard glob)."""
+    store = ShardStore(tmp_path)
+    key = "ee" * 32
+    store.append(key, [_row(64)])
+    group_dir = store.shard_files(key)[0].parent
+    (group_dir / f"{key}.garbage.tmp").write_bytes(b"half a shard")
+    fresh = ShardStore(tmp_path)
+    assert set(fresh.group(key)) == {64}
+    assert fresh.shard_count() == 1
+
+
+def test_round_trip_is_bit_identical_including_samples(tmp_path):
+    store = ShardStore(tmp_path)
+    key = column_key(POINTS[0])
+    results = run_sweep_column(POINTS)
+    store.append(key, results)
+    back = ShardStore(tmp_path).group(key)
+    for r in results:
+        got = back[r.msg_bytes]
+        assert got == r
+        assert got.samples == r.samples  # exact floats, not approx
+
+
+def test_ragged_sample_counts_pad_and_unpad_exactly(tmp_path):
+    store = ShardStore(tmp_path)
+    key = "ff" * 32
+    rows = [
+        MicrobenchResult(
+            "L", "allreduce", 2, 2, 2 ** (6 + i), time=float(i),
+            samples=tuple(float(j) / 3 for j in range(1 + 2 * i)),
+            internode_messages=i,
+        )
+        for i in range(4)
+    ]
+    store.append(key, rows)
+    back = ShardStore(tmp_path).group(key)
+    for r in rows:
+        assert back[r.msg_bytes].samples == r.samples
+
+
+# -- migration: pre-1.4.0 JSON trees -> legacy shards ----------------------
+
+
+def test_migrate_point_and_column_json_round_trip_bit_identical(tmp_path):
+    results = run_sweep_column(POINTS)
+    # a legacy tree holding one per-point file and one column document
+    write_legacy_json_point(tmp_path, POINTS[0], results[0])
+    write_legacy_json_column(tmp_path, POINTS[1:], results[1:])
+    counts = migrate(tmp_path)
+    assert counts["point_files"] == 1
+    assert counts["column_files"] == 1
+    assert counts["entries"] == len(POINTS)
+    # migrated entries hit bit-identically through the normal cache API
+    cache = ResultCache(tmp_path)
+    assert cache.get_many(POINTS) == results
+    assert cache.legacy_hits == len(POINTS)
+
+
+def test_migrate_is_idempotent(tmp_path):
+    results = run_sweep_column(POINTS)
+    write_legacy_json_column(tmp_path, POINTS, results)
+    first = migrate(tmp_path)
+    again = migrate(tmp_path)
+    assert first["entries"] == len(POINTS)
+    assert again["entries"] == 0
+    assert again["skipped_entries"] == len(POINTS)
+    assert ResultCache(tmp_path).get_many(POINTS) == results
+
+
+def test_migrate_purge_json_keeps_hitting_from_shards(tmp_path):
+    results = run_sweep_column(POINTS)
+    write_legacy_json_column(tmp_path, POINTS, results)
+    write_legacy_json_point(tmp_path, POINTS[0], results[0])
+    counts = migrate(tmp_path, purge_json=True)
+    assert counts["purged_files"] == 2
+    assert not list(tmp_path.glob("columns/*/*.json"))
+    assert not [
+        p for p in tmp_path.glob("*/*.json") if p.parent.name != "legacy"
+    ]
+    assert ResultCache(tmp_path).get_many(POINTS) == results
+
+
+def test_migrate_skips_corrupt_files(tmp_path):
+    path = write_legacy_json_point(
+        tmp_path, POINTS[0], run_sweep_column(POINTS[:1])[0]
+    )
+    bad = path.parent / ("0" * 64 + ".json")
+    bad.write_text("{ not json")
+    counts = migrate(tmp_path)
+    assert counts["corrupt_files"] == 1
+    assert counts["point_files"] == 1
+
+
+def test_migrate_ignores_shard_and_legacy_directories(tmp_path):
+    cache = ResultCache(tmp_path)
+    results = run_sweep_column(POINTS)
+    cache.put_many(POINTS, results)
+    counts = migrate(tmp_path)
+    assert counts == {
+        "point_files": 0, "column_files": 0, "entries": 0,
+        "skipped_entries": 0, "corrupt_files": 0, "purged_files": 0,
+    }
+
+
+def test_unmigrated_legacy_json_still_hits_read_only(tmp_path):
+    """The one-release fallback: a raw pre-1.4.0 tree hits without any
+    migration, and the hit writes nothing back."""
+    results = run_sweep_column(POINTS)
+    write_legacy_json_column(tmp_path, POINTS[:3], results[:3])
+    write_legacy_json_point(tmp_path, POINTS[3], results[3])
+    cache = ResultCache(tmp_path)
+    assert cache.get_many(POINTS) == results
+    assert cache.legacy_hits == len(POINTS)
+    assert cache.bytes_read > 0
+    assert cache.store.shard_count() == 0  # read-only: no write-through
+
+
+def test_legacy_epoch_never_aliases_current_epoch():
+    point = POINTS[0]
+    assert cache_key(point) != cache_key(point, LEGACY_EPOCHS[0])
+    assert column_key(point) != column_key(point, LEGACY_EPOCHS[0])
+    assert CACHE_EPOCH not in LEGACY_EPOCHS
+
+
+def test_migrate_cli_prints_counts(tmp_path, capsys):
+    results = run_sweep_column(POINTS)
+    write_legacy_json_column(tmp_path, POINTS, results)
+    rc = cache_main(["migrate", "--root", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "1 column files" in out
+    assert f"{len(POINTS)} new entries" in out
+    rc = cache_main(["stats", "--root", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "legacy entries" in out
+
+
+def test_write_legacy_json_column_rejects_mixed_columns(tmp_path):
+    mixed = [POINTS[0], Point("PiP-MPICH", "allgather", 2, 2, 64)]
+    with pytest.raises(ValueError, match="columns"):
+        write_legacy_json_column(
+            tmp_path, mixed, run_sweep_column(POINTS[:1]) * 2
+        )
+
+
+def test_legacy_writers_emit_the_documented_layout(tmp_path):
+    """The fallback readers and the migration tool both key off this
+    exact layout; pin it so fixtures cannot drift."""
+    results = run_sweep_column(POINTS)
+    ppath = write_legacy_json_point(tmp_path, POINTS[0], results[0])
+    cpath = write_legacy_json_column(tmp_path, POINTS, results)
+    key = cache_key(POINTS[0], LEGACY_EPOCHS[0])
+    assert ppath == tmp_path / key[:2] / f"{key}.json"
+    ckey = column_key(POINTS[0], LEGACY_EPOCHS[0])
+    assert cpath == tmp_path / "columns" / ckey[:2] / f"{ckey}.json"
+    doc = json.loads(cpath.read_text())
+    assert doc["version"] == LEGACY_EPOCHS[0]
+    assert set(doc["entries"]) == {str(s) for s in AXIS}
