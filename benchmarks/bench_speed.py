@@ -35,6 +35,11 @@ Usage::
                                                      # BENCH_store.json
     python benchmarks/bench_speed.py --store --smoke # CI gate: exit 1
                                                      # unless store >= 2x
+    python benchmarks/bench_speed.py --serve         # warm daemon vs cold
+                                                     # CLI latency ->
+                                                     # BENCH_serve.json
+    python benchmarks/bench_speed.py --serve --smoke # CI gate: exit 1
+                                                     # unless warm >= 2x
 
 (The file matches the ``bench_*.py`` pytest glob but defines no tests; it
 is a command-line tool.)
@@ -487,6 +492,188 @@ def run_store_mode(args) -> int:
     return 0
 
 
+#: the column the serve benchmark sweeps — reuse the store benchmark's
+#: planner-backed column; the measurement is daemon amortization, not
+#: simulation speed
+SERVE_COLUMN = STORE_COLUMN
+SERVE_SMOKE_COLUMN = STORE_SMOKE_COLUMN
+
+#: the cold baseline: what one CLI invocation of the sweep actually costs —
+#: interpreter start, imports, world construction, evaluation — run as a
+#: real child process, results printed for the bit-identity check
+_COLD_CHILD = """\
+import json, sys
+from repro.bench.runner import Point, SweepRunner
+from repro.serve.protocol import result_to_doc
+lib, coll = sys.argv[1], sys.argv[2]
+nodes, ppn = int(sys.argv[3]), int(sys.argv[4])
+points = [
+    Point(lib, coll, nodes, ppn, int(s), engine="batch")
+    for s in sys.argv[5].split(",")
+]
+results = SweepRunner(jobs=1, use_cache=False).run(points)
+json.dump([result_to_doc(r) for r in results], sys.stdout)
+"""
+
+
+def run_serve_mode(args) -> int:
+    """``--serve``: warm-daemon sweep latency vs the cold-CLI baseline.
+
+    Cold = a fresh ``python`` child per rep running the column through
+    ``SweepRunner`` (the pre-daemon workflow: every invocation pays
+    interpreter start, imports and evaluation).  Warm = one resident
+    ``python -m repro.serve`` daemon on a unix socket, already warmed by
+    a first sweep, answering the same column over the wire from its
+    in-memory cache.  Bit-identity of cold child, warm daemon and the
+    in-process runner is asserted; the latency ratio lands in
+    ``BENCH_serve.json``.
+    """
+    import os
+    import shutil
+    import subprocess
+    import tempfile
+
+    from repro.bench.runner import Point, SweepRunner
+    from repro.serve import SweepClient, wait_until_ready
+    from repro.serve.protocol import result_from_doc
+
+    spec = SERVE_SMOKE_COLUMN if args.smoke else SERVE_COLUMN
+    axis = BATCH_SMOKE_AXIS if args.smoke else BATCH_AXIS
+    reps = args.reps if args.reps is not None else (3 if args.smoke else 5)
+    lib, coll, nodes, ppn = spec
+    points = [
+        Point(lib, coll, nodes, ppn, s, engine="batch") for s in axis
+    ]
+    print(
+        f"serve speed: {lib} {coll} {nodes}x{ppn}, {len(axis)}-size axis, "
+        f"best of {reps} reps each"
+    )
+    reference = SweepRunner(jobs=1, use_cache=False).run(points)
+
+    root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    src = str(root / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src
+    )
+    sizes_arg = ",".join(str(s) for s in axis)
+
+    cold_s = float("inf")
+    cold_back = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = subprocess.run(
+            [sys.executable, "-c", _COLD_CHILD,
+             lib, coll, str(nodes), str(ppn), sizes_arg],
+            env=env, cwd=root, capture_output=True, text=True, check=True,
+        ).stdout
+        cold_s = min(cold_s, time.perf_counter() - t0)
+        cold_back = [result_from_doc(d) for d in json.loads(out)]
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_serve_"))
+    proc = None
+    try:
+        sock = str(workdir / "daemon.sock")
+        t0 = time.perf_counter()
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", "--listen", sock,
+             "--jobs", "1", "--cache-dir", str(workdir / "cache")],
+            env=env, cwd=root, stderr=subprocess.DEVNULL,
+        )
+        wait_until_ready(sock, deadline=30.0)
+        startup_s = time.perf_counter() - t0
+
+        with SweepClient(sock) as client:
+            t0 = time.perf_counter()
+            warming = client.sweep(points)  # first contact: evaluates
+            warming_s = time.perf_counter() - t0
+            warm_s = float("inf")
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                warm_back = client.sweep(points)  # steady state: hits
+                warm_s = min(warm_s, time.perf_counter() - t0)
+            stats = client.stats()["daemon"]
+            client.shutdown()
+        proc.wait(timeout=30)
+        proc = None
+    finally:
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    if not (cold_back == warming == warm_back == reference):
+        print("FAIL: daemon results are not bit-identical to the "
+              "cold CLI / in-process runner")
+        return 1
+    if stats["evaluations"] != 1:
+        print(f"FAIL: warm repeats re-evaluated "
+              f"(evaluations={stats['evaluations']}, expected 1)")
+        return 1
+
+    npoints = len(axis)
+    aggregate = {
+        "points": npoints,
+        "cold_cli_s": cold_s,
+        "warm_daemon_s": warm_s,
+        "warm_vs_cold": cold_s / warm_s,
+        "daemon_startup_s": startup_s,
+        "first_sweep_s": warming_s,
+        "warm_points_per_sec": npoints / warm_s,
+    }
+    print(
+        f"  cold CLI    {cold_s * 1e3:8.1f}ms per sweep "
+        f"(fresh interpreter + evaluation)"
+    )
+    print(
+        f"  warm daemon {warm_s * 1e3:8.1f}ms per sweep "
+        f"({aggregate['warm_points_per_sec']:10.0f} pts/s; startup "
+        f"{startup_s * 1e3:.0f}ms, first sweep {warming_s * 1e3:.0f}ms)"
+    )
+    print(
+        f"aggregate: warm daemon {aggregate['warm_vs_cold']:.1f}x vs cold "
+        f"CLI on repeated column sweeps"
+    )
+
+    floor = 2.0 if args.smoke else 5.0
+    if aggregate["warm_vs_cold"] < floor:
+        print(f"FAIL: warm daemon under {floor:.0f}x the cold-CLI baseline")
+        return 1
+    if args.smoke:
+        print("smoke ok: bit-identical over the wire, daemon >= 2x cold CLI")
+        return 0
+
+    out = Path(args.out) if args.out else (root / "BENCH_serve.json")
+    doc = {
+        "benchmark": "warm-serve-daemon-vs-cold-cli-sweep",
+        "python": sys.version.split()[0],
+        "reps": reps,
+        "protocol": (
+            "cold = best-of-reps wall time of a fresh python child running "
+            "the column through SweepRunner (interpreter start + imports + "
+            "evaluation); warm = best-of-reps wall time of client.sweep "
+            "against a resident python -m repro.serve daemon on a unix "
+            "socket after one warming sweep (in-memory cache hits over the "
+            "wire); bit-identical results asserted across cold child, warm "
+            "daemon and the in-process runner"
+        ),
+        "column": {
+            "library": lib, "collective": coll, "nodes": nodes, "ppn": ppn,
+            "sizes": npoints,
+        },
+        "daemon_stats": {
+            k: stats[k] for k in (
+                "requests", "sweeps", "points", "hits", "misses",
+                "coalesced", "evaluations",
+            )
+        },
+        "aggregate": aggregate,
+    }
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
 def run_batch_mode(args) -> int:
     if args.columns:
         columns = parse_columns(args.columns)
@@ -610,6 +797,13 @@ def main(argv=None) -> int:
              "read-back)",
     )
     parser.add_argument(
+        "--serve", action="store_true",
+        help="daemon-amortization benchmark: warm repro.serve sweep "
+             "latency vs a cold CLI child per sweep -> BENCH_serve.json "
+             "(with --smoke: short axis, exit 1 unless the warm daemon "
+             "beats the cold CLI by 2x with bit-identical results)",
+    )
+    parser.add_argument(
         "--columns", default=None, metavar="LIB/COLL/NxP,...",
         help="restrict the --batch/--analytic column grid, e.g. "
              "PiP-MColl/scatter/4x8,OpenMPI/allgather/2x16 (CI smoke "
@@ -632,6 +826,8 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.serve:
+        return run_serve_mode(args)
     if args.store:
         return run_store_mode(args)
     if args.analytic:

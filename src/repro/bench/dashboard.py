@@ -2,7 +2,8 @@
 
 The repository commits one ``BENCH_*.json`` document per performance
 campaign (``BENCH_fastpath.json``, ``BENCH_batch.json``,
-``BENCH_analytic.json``, ``BENCH_store.json`` — all written by
+``BENCH_analytic.json``, ``BENCH_store.json``, ``BENCH_serve.json`` —
+all written by
 ``benchmarks/bench_speed.py``).  Each carries an ``aggregate`` block with
 a headline points-per-second figure.  This tool lines those figures up
 *across commits*: for every ``BENCH_*.json`` in the working tree it walks
@@ -37,6 +38,7 @@ __all__ = ["main", "headline_metric"]
 #: aggregate keys, most-derived engine first — the first present in a
 #: document's ``aggregate`` block is its headline metric
 _PREFERRED_METRICS = (
+    "warm_points_per_sec",
     "store_points_per_sec",
     "batch_points_per_sec",
     "analytic_points_per_sec",

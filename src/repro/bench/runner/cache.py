@@ -64,6 +64,7 @@ __all__ = [
     "ResultCache", "cache_key", "column_key", "default_cache_dir",
     "CACHE_EPOCH", "LEGACY_EPOCHS", "migrate",
     "write_legacy_json_point", "write_legacy_json_column",
+    "result_to_doc", "result_from_doc",
 ]
 
 _ENV_DIR = "PIPMCOLL_CACHE_DIR"
@@ -155,6 +156,13 @@ def _result_from_doc(doc: dict) -> MicrobenchResult:
         samples=tuple(doc["samples"]),
         internode_messages=doc["internode_messages"],
     )
+
+
+#: public aliases — the serve wire protocol ships results as exactly the
+#: documents the legacy cache used (JSON floats round-trip float64 via
+#: repr, so a result crossing the socket stays bit-identical)
+result_to_doc = _result_doc
+result_from_doc = _result_from_doc
 
 
 def _atomic_write(path: Path, encoded: bytes) -> None:
@@ -352,6 +360,16 @@ class ResultCache:
             return None
         self._json_bytes_read += len(raw)
         return result
+
+    def peek(self, point: Point) -> Optional[MicrobenchResult]:
+        """:meth:`get` without touching the hit/miss counters.
+
+        The serve daemon re-checks the cache after awaiting a coalesced
+        in-flight evaluation; those re-checks are bookkeeping, not client
+        traffic, and must not inflate the stats a ``stats`` request (or
+        ``record.py --cache-stats``) reports.
+        """
+        return self._lookup(point, column_key(point))
 
     def get(self, point: Point) -> Optional[MicrobenchResult]:
         """The cached result for ``point``, or ``None`` on a miss."""

@@ -34,7 +34,7 @@ from repro.sched.fastpath import fastpath_supported
 
 __all__ = [
     "SweepRunner", "default_runner", "run_points", "run_point_spec",
-    "run_sweep_column", "run_sweep_column_stats",
+    "run_sweep_column", "run_sweep_column_stats", "plan_column_routes",
 ]
 
 _ENV_JOBS = "PIPMCOLL_JOBS"
@@ -77,9 +77,15 @@ def run_sweep_column(points: Sequence[Point]) -> List[MicrobenchResult]:
     engine's contract (see :mod:`repro.sched.batch`).  Top-level for the
     same pickling reason as :func:`run_point_spec`.
     """
+    first = points[0]
+    # fail fast with run_point's exact semantics (it refuses measure < 1
+    # up front) instead of tripping a ZeroDivisionError — or an engine
+    # internal error — deep inside a pool worker
+    if first.measure < 1:
+        raise ValueError("need at least one measured iteration")
+
     from repro.sched.batch import evaluate_column
 
-    first = points[0]
     col = evaluate_column(
         first.library,
         first.collective,
@@ -144,11 +150,40 @@ def _column_group_key(point: Point) -> Tuple:
     )
 
 
+def plan_column_routes(points: Sequence[Point]) -> Dict[Tuple, List[int]]:
+    """Indices of column-routed points, grouped by column.
+
+    A point rides a column when its engine is ``"batch"`` explicitly, or
+    when it is ``"auto"``, the pair is planner-backed, and at least one
+    other point shares its column with a different size — the regime
+    where the vectorized pass pays for itself.  Shared by
+    :class:`SweepRunner` and the :mod:`repro.serve` daemon so both fronts
+    route identically (the bit-identity contract makes routing invisible
+    in the results, but identical routing keeps cache traffic and
+    work-unit shapes the same too).
+    """
+    groups: Dict[Tuple, List[int]] = {}
+    for i, p in enumerate(points):
+        if p.engine == "batch" or (
+            p.engine == "auto"
+            and fastpath_supported(p.library, p.collective)
+        ):
+            groups.setdefault(_column_group_key(p), []).append(i)
+    return {
+        key: idxs
+        for key, idxs in groups.items()
+        if points[idxs[0]].engine == "batch"
+        or len({points[i].msg_bytes for i in idxs}) > 1
+    }
+
+
 def _env_flag(name: str, default: bool) -> bool:
     raw = os.environ.get(name)
-    if raw is None:
+    if raw is None or not raw.strip():
+        # empty-but-set (a shell exporting a placeholder) means "unset →
+        # default", not explicit false
         return default
-    return raw.strip().lower() not in ("0", "false", "off", "no", "")
+    return raw.strip().lower() not in ("0", "false", "off", "no")
 
 
 def _default_jobs() -> int:
@@ -232,28 +267,10 @@ class SweepRunner:
     def _column_indices(
         self, points: Sequence[Point]
     ) -> Dict[Tuple, List[int]]:
-        """Indices of column-routed points, grouped by column.
-
-        A point rides a column when its engine is ``"batch"`` explicitly,
-        or when it is ``"auto"``, the pair is planner-backed, and at least
-        one other point shares its column with a different size — the
-        regime where the vectorized pass pays for itself.  Sweeps are
-        grouped before any evaluation, so a column is lowered once no
-        matter how many sizes it spans (the pool warm start).
-        """
-        groups: Dict[Tuple, List[int]] = {}
-        for i, p in enumerate(points):
-            if p.engine == "batch" or (
-                p.engine == "auto"
-                and fastpath_supported(p.library, p.collective)
-            ):
-                groups.setdefault(_column_group_key(p), []).append(i)
-        return {
-            key: idxs
-            for key, idxs in groups.items()
-            if points[idxs[0]].engine == "batch"
-            or len({points[i].msg_bytes for i in idxs}) > 1
-        }
+        """See :func:`plan_column_routes` — sweeps are grouped before any
+        evaluation, so a column is lowered once no matter how many sizes
+        it spans (the pool warm start)."""
+        return plan_column_routes(points)
 
     def run(self, points: Sequence[Point]) -> List[MicrobenchResult]:
         """Execute ``points``; results come back in submission order."""

@@ -15,7 +15,9 @@ per message size), so writers never rewrite existing data:
   ``*.tmp`` file that no reader ever opens, never a truncated shard.  A
   shard that *is* damaged on disk (torn write on a dying filesystem) is
   detected by ``np.load`` failing and is skipped and removed, not
-  crashed on;
+  crashed on.  Only *corruption* removes a file: a transient failure
+  (``PermissionError``, ``MemoryError``, an interrupted read) skips the
+  shard for this scan and leaves it on disk for the next one;
 * **columnar** — a whole 121-size axis reads back with one file open and
   a handful of vectorized array conversions instead of one
   ``stat``+``open``+``json.loads`` per point (the I/O analogue of the
@@ -53,6 +55,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import zipfile
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -151,13 +154,22 @@ class ShardStore:
                 rows = _arrays_to_rows(data)
         except FileNotFoundError:
             return None
-        except Exception:
-            # torn write / wrong schema: ignore the shard, don't crash the
-            # sweep; remove it so it is not rescanned forever
+        except (PermissionError, InterruptedError, MemoryError):
+            # transient: the file may be perfectly valid (EPERM from a
+            # mount hiccup, allocation pressure, a signal) — skip it this
+            # scan, never destroy results over it
+            return None
+        except (zipfile.BadZipFile, ValueError, KeyError, EOFError, OSError):
+            # actual corruption: torn write, wrong schema, a zip that
+            # parses but truncates mid-member.  Ignore the shard, don't
+            # crash the sweep; remove it so it is not rescanned forever
             try:
                 path.unlink()
             except OSError:
                 pass
+            return None
+        except Exception:
+            # anything unforeseen: fail safe — skip without unlinking
             return None
         self.bytes_read += raw_size
         self.shards_read += 1

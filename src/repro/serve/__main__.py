@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — foreground daemon entry point."""
+
+import sys
+
+from repro.serve.daemon import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -482,6 +482,50 @@ def test_cache_env_knob(monkeypatch, tmp_path):
     assert runner.cache.root == tmp_path / "envcache"
 
 
+def test_empty_env_flag_means_unset_not_false(monkeypatch, tmp_path):
+    """``PIPMCOLL_CACHE=""`` (set but empty, e.g. ``VAR= cmd`` or an
+    empty CI secret) must fall back to the default, not read as an
+    explicit false."""
+    monkeypatch.setenv("PIPMCOLL_CACHE_DIR", str(tmp_path / "envcache"))
+    monkeypatch.setenv("PIPMCOLL_CACHE", "")
+    assert SweepRunner(jobs=1).use_cache is True  # the default
+    monkeypatch.setenv("PIPMCOLL_CACHE", "   ")
+    assert SweepRunner(jobs=1).use_cache is True
+
+
+def test_empty_progress_env_flag_means_unset(monkeypatch, capsys):
+    monkeypatch.setenv("PIPMCOLL_PROGRESS", "")
+    SweepRunner(jobs=1, use_cache=False).run(POINTS[:1])
+    assert capsys.readouterr().err == ""  # default: no progress bar
+    monkeypatch.setenv("PIPMCOLL_PROGRESS", "1")
+    SweepRunner(jobs=1, use_cache=False).run(POINTS[:1])
+    assert "1/1" in capsys.readouterr().err
+
+
+def test_zero_measure_column_fails_fast_like_run_point(monkeypatch):
+    """``run_sweep_column`` with ``measure=0`` must raise the same
+    ``ValueError`` as ``run_point`` — up front, before the batch engine
+    is ever invoked deep inside a pool worker."""
+    import repro.sched.batch as batch
+
+    called = []
+
+    def engine_stub(*args, **kwargs):  # pragma: no cover - fails the test
+        called.append(args)
+        raise AssertionError("engine must not run for measure=0")
+
+    monkeypatch.setattr(batch, "evaluate_column", engine_stub)
+    points = [
+        replace(p, measure=0)
+        for p in expand_sweep(
+            "allgather", [64, 4096], ["PiP-MColl"], nodes=2, ppn=2
+        )
+    ]
+    with pytest.raises(ValueError, match="at least one measured iteration"):
+        run_sweep_column(points)
+    assert called == []
+
+
 def test_progress_reports_source(tmp_path):
     cache = _cache(tmp_path)
     events = []

@@ -137,6 +137,86 @@ def test_empty_shard_file_is_skipped_and_removed(tmp_path):
     assert not path.exists()
 
 
+def test_transient_permission_error_leaves_shard_on_disk(
+    tmp_path, monkeypatch
+):
+    """A transient ``PermissionError`` from ``np.load`` (mount hiccup,
+    mode race) must skip the shard for this scan, NOT delete valid
+    results — only corruption may unlink."""
+    import numpy as np
+
+    store = ShardStore(tmp_path)
+    key = "f0" * 32
+    store.append(key, [_row(64), _row(128)])
+    (path,) = store.shard_files(key)
+
+    def denied(*args, **kwargs):
+        raise PermissionError(13, "Permission denied (transient)")
+
+    monkeypatch.setattr(np, "load", denied)
+    probe = ShardStore(tmp_path)
+    assert probe.group(key) == {}  # skipped this scan
+    assert path.exists()           # but never unlinked
+    monkeypatch.undo()
+    # the next scan (fresh store, np.load healthy) hits everything again
+    healthy = ShardStore(tmp_path)
+    assert set(healthy.group(key)) == {64, 128}
+
+
+def test_transient_memory_error_leaves_shard_on_disk(tmp_path, monkeypatch):
+    import numpy as np
+
+    store = ShardStore(tmp_path)
+    key = "f1" * 32
+    store.append(key, [_row(64)])
+    (path,) = store.shard_files(key)
+
+    def oom(*args, **kwargs):
+        raise MemoryError("allocation pressure")
+
+    monkeypatch.setattr(np, "load", oom)
+    assert ShardStore(tmp_path).group(key) == {}
+    assert path.exists()
+
+
+def test_unforeseen_load_failure_fails_safe_without_unlinking(
+    tmp_path, monkeypatch
+):
+    """Anything outside the known corruption classes must not destroy
+    data either — unlink only on proven damage."""
+    import numpy as np
+
+    store = ShardStore(tmp_path)
+    key = "f2" * 32
+    store.append(key, [_row(64)])
+    (path,) = store.shard_files(key)
+
+    class Strange(Exception):
+        pass
+
+    monkeypatch.setattr(
+        np, "load", lambda *a, **k: (_ for _ in ()).throw(Strange("?"))
+    )
+    assert ShardStore(tmp_path).group(key) == {}
+    assert path.exists()
+
+
+def test_wrong_schema_shard_is_removed(tmp_path):
+    """A parseable npz missing the shard members is corruption (wrong
+    schema), and corruption is still unlinked."""
+    import numpy as np
+
+    store = ShardStore(tmp_path)
+    key = "f3" * 32
+    store.append(key, [_row(64)])
+    (path,) = store.shard_files(key)
+    with open(path, "wb") as fh:
+        np.savez(fh, wrong_member=np.zeros(3))
+    fresh = ShardStore(tmp_path)
+    assert fresh.group(key) == {}
+    assert not path.exists()
+
+
 def test_stray_tmp_file_is_never_read_as_a_shard(tmp_path):
     """A crash between mkstemp and os.replace leaves a ``*.tmp`` the
     readers must ignore (it does not match the shard glob)."""

@@ -1,0 +1,321 @@
+"""Daemon behaviour through a real socket: bit-identity, coalescing,
+timeouts, backpressure, shutdown flush.
+
+Every test runs a real :class:`SweepDaemon` on a unix socket in a
+background thread and talks to it with the blocking
+:class:`SweepClient` — the full wire path, not method calls.  ``jobs=0``
+keeps evaluation in-process (worker threads), so tests can wrap
+``daemon._run_in_pool`` to inject latency without touching the engines.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.bench.runner import Point, ResultCache, SweepRunner
+from repro.serve import ServeError, SweepClient, SweepDaemon, wait_until_ready
+
+AXIS = (64, 1024, 16384)
+
+
+def column(sizes=AXIS, collective="allgather", engine="batch"):
+    return [
+        Point("PiP-MColl", collective, 2, 4, s, engine=engine)
+        for s in sizes
+    ]
+
+
+def reference(points):
+    """What the daemon must reproduce bit-identically."""
+    return SweepRunner(jobs=1, use_cache=False).run(points)
+
+
+class DaemonThread:
+    """A daemon serving on a unix socket from a background thread."""
+
+    def __init__(self, tmp_path, *, delay=0.0, **kwargs):
+        self.sock = str(tmp_path / "daemon.sock")
+        kwargs.setdefault("cache", ResultCache(tmp_path / "serve_cache"))
+        kwargs.setdefault("jobs", 0)
+        kwargs.setdefault("grace", 5.0)
+        self.daemon = SweepDaemon(self.sock, **kwargs)
+        if delay:
+            inner = self.daemon._run_in_pool
+
+            async def slow(fn, arg):
+                await asyncio.sleep(delay)
+                return await inner(fn, arg)
+
+            self.daemon._run_in_pool = slow
+        self.thread = threading.Thread(
+            target=lambda: asyncio.run(self.daemon.serve()), daemon=True
+        )
+
+    def __enter__(self):
+        self.thread.start()
+        wait_until_ready(self.sock)
+        return self
+
+    def __exit__(self, *exc):
+        if self.thread.is_alive():
+            try:
+                with SweepClient(self.sock) as client:
+                    client.shutdown()
+            except (OSError, ServeError):
+                pass
+            self.thread.join(timeout=10)
+        assert not self.thread.is_alive(), "daemon failed to drain and exit"
+
+    def client(self):
+        return SweepClient(self.sock)
+
+
+# -- the contract: bit-identical to SweepRunner.run ------------------------
+
+
+def test_sweep_bit_identical_to_runner_across_engines(tmp_path):
+    # a batch column, auto points (upgraded to the column route on both
+    # fronts), and a scalar event point — the full routing surface
+    points = (
+        column(engine="batch")
+        + [Point("PiP-MColl", "allreduce", 2, 4, s, engine="auto")
+           for s in (512, 8192)]
+        + [Point("OpenMPI", "allgather", 2, 2, 1024, engine="event")]
+    )
+    with DaemonThread(tmp_path) as harness:
+        with harness.client() as client:
+            got = client.sweep(points)
+    assert got == reference(points)
+
+
+def test_warm_repeat_is_pure_cache_hits(tmp_path):
+    points = column()
+    with DaemonThread(tmp_path) as harness:
+        with harness.client() as client:
+            first = client.sweep(points)
+            again = client.sweep(points)
+            stats = client.stats()["daemon"]
+    assert first == again == reference(points)
+    assert stats["evaluations"] == 1
+    assert stats["hits"] == len(points)
+    assert stats["misses"] == len(points)
+
+
+def test_results_come_back_in_request_order(tmp_path):
+    points = list(reversed(column())) + column((4096,))
+    with DaemonThread(tmp_path) as harness:
+        with harness.client() as client:
+            got = client.sweep(points)
+    assert [(r.msg_bytes) for r in got] == [p.msg_bytes for p in points]
+    assert got == reference(points)
+
+
+# -- coalescing ------------------------------------------------------------
+
+
+def _sweep_in_thread(sock, points, out, idx, delay=0.0):
+    def run():
+        if delay:
+            time.sleep(delay)
+        with SweepClient(sock) as client:
+            out[idx] = client.sweep(points)
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    return thread
+
+
+def test_identical_concurrent_requests_coalesce_to_one_evaluation(tmp_path):
+    points = column()
+    out = {}
+    with DaemonThread(tmp_path, delay=0.6) as harness:
+        a = _sweep_in_thread(harness.sock, points, out, "a")
+        b = _sweep_in_thread(harness.sock, points, out, "b", delay=0.2)
+        a.join(timeout=30)
+        b.join(timeout=30)
+        with harness.client() as client:
+            stats = client.stats()["daemon"]
+    assert out["a"] == out["b"] == reference(points)
+    assert stats["evaluations"] == 1   # one in-flight unit served both
+    assert stats["coalesced"] == 1     # the second request awaited it
+
+
+def test_overlapping_requests_coalesce_then_fill_the_remainder(tmp_path):
+    shared = (1024, 16384)
+    a_points = column((64,) + shared)
+    b_points = column(shared + (262144,))
+    out = {}
+    with DaemonThread(tmp_path, delay=0.5) as harness:
+        a = _sweep_in_thread(harness.sock, a_points, out, "a")
+        b = _sweep_in_thread(harness.sock, b_points, out, "b", delay=0.2)
+        a.join(timeout=30)
+        b.join(timeout=30)
+        with harness.client() as client:
+            stats = client.stats()["daemon"]
+    assert out["a"] == reference(a_points)
+    assert out["b"] == reference(b_points)
+    # B awaited A's evaluation for the shared sizes, then evaluated only
+    # its own remainder — two evaluations total, not three
+    assert stats["evaluations"] == 2
+    assert stats["coalesced"] == 1
+
+
+def test_scalar_point_misses_coalesce_too(tmp_path):
+    point = [Point("OpenMPI", "allgather", 2, 2, 512, engine="event")]
+    out = {}
+    with DaemonThread(tmp_path, delay=0.5) as harness:
+        a = _sweep_in_thread(harness.sock, point, out, "a")
+        b = _sweep_in_thread(harness.sock, point, out, "b", delay=0.2)
+        a.join(timeout=30)
+        b.join(timeout=30)
+        with harness.client() as client:
+            stats = client.stats()["daemon"]
+    assert out["a"] == out["b"] == reference(point)
+    assert stats["evaluations"] == 1
+    assert stats["coalesced"] == 1
+
+
+# -- timeouts and cancellation ---------------------------------------------
+
+
+def test_request_timeout_cancels_request_but_evaluation_completes(tmp_path):
+    points = column()
+    with DaemonThread(tmp_path, delay=0.8) as harness:
+        with harness.client() as client:
+            with pytest.raises(ServeError) as err:
+                client.sweep(points, timeout=0.15)
+            assert err.value.code == "timeout"
+            assert client.stats()["daemon"]["timeouts"] == 1
+            # the shielded evaluation ran to completion and landed in the
+            # cache: the retry is a pure hit, no second evaluation
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                try:
+                    got = client.sweep(points, timeout=0.15)
+                    break
+                except ServeError as exc:
+                    assert exc.code == "timeout"
+                    time.sleep(0.05)
+            stats = client.stats()["daemon"]
+    assert got == reference(points)
+    assert stats["evaluations"] == 1
+
+
+def test_daemon_default_timeout_applies_when_request_has_none(tmp_path):
+    with DaemonThread(tmp_path, delay=0.8,
+                      default_timeout=0.15) as harness:
+        with harness.client() as client:
+            with pytest.raises(ServeError) as err:
+                client.sweep(column())
+            assert err.value.code == "timeout"
+
+
+# -- backpressure ----------------------------------------------------------
+
+
+def test_admission_gate_rejects_with_overloaded(tmp_path):
+    first = column()
+    second = column(collective="allreduce")
+    out = {}
+    with DaemonThread(tmp_path, delay=0.6, max_pending=1) as harness:
+        a = _sweep_in_thread(harness.sock, first, out, "a")
+        time.sleep(0.2)  # a is mid-evaluation and holds the only slot
+        with harness.client() as client:
+            with pytest.raises(ServeError) as err:
+                client.sweep(second)
+            assert err.value.code == "overloaded"
+            a.join(timeout=30)
+            # the slot freed: the retry is admitted and succeeds
+            got = client.sweep(second)
+            stats = client.stats()["daemon"]
+    assert out["a"] == reference(first)
+    assert got == reference(second)
+    assert stats["rejected"] == 1
+
+
+# -- shutdown --------------------------------------------------------------
+
+
+def test_shutdown_flushes_buffered_shards(tmp_path):
+    # a huge threshold and interval: nothing flushes until shutdown does
+    cache = ResultCache(tmp_path / "serve_cache", flush_threshold=10**6)
+    points = column()
+    with DaemonThread(tmp_path, cache=cache,
+                      flush_interval=3600.0) as harness:
+        with harness.client() as client:
+            got = client.sweep(points)
+        # rows are buffered in daemon memory only — nothing on disk yet
+        probe = ResultCache(tmp_path / "serve_cache")
+        assert probe.store.shard_count() == 0
+    # __exit__ sent shutdown and joined: the drain flushed the buffer
+    fresh = ResultCache(tmp_path / "serve_cache")
+    assert fresh.get_many(points) == got == reference(points)
+    assert fresh.store.shard_count() > 0
+
+
+def test_flush_op_publishes_pending_rows_on_demand(tmp_path):
+    cache = ResultCache(tmp_path / "serve_cache", flush_threshold=10**6)
+    points = column()
+    with DaemonThread(tmp_path, cache=cache,
+                      flush_interval=3600.0) as harness:
+        with harness.client() as client:
+            got = client.sweep(points)
+            assert client.flush() == len(points)
+        fresh = ResultCache(tmp_path / "serve_cache")
+        assert fresh.get_many(points) == got
+
+
+# -- protocol errors over the wire -----------------------------------------
+
+
+def test_unknown_op_and_bad_sweeps_answer_with_errors(tmp_path):
+    with DaemonThread(tmp_path) as harness:
+        with harness.client() as client:
+            with pytest.raises(ServeError) as err:
+                client.request({"op": "frobnicate"})
+            assert err.value.code == "bad-request"
+            with pytest.raises(ServeError) as err:
+                client.request({"op": "sweep", "points": []})
+            assert err.value.code == "bad-request"
+            with pytest.raises(ServeError) as err:
+                client.request({"op": "sweep",
+                                "points": [{"library": "only"}]})
+            assert err.value.code == "bad-request"
+            # the connection survives error responses
+            assert client.ping()["version"] >= 1
+
+
+def test_evaluation_failure_reports_internal_not_a_hang(tmp_path):
+    bad = [Point("PiP-MColl", "allgather", 2, 4, 512,
+                 measure=0, engine="event")]
+    with DaemonThread(tmp_path) as harness:
+        with harness.client() as client:
+            with pytest.raises(ServeError) as err:
+                client.sweep(bad)
+            assert err.value.code == "internal"
+            assert "measured iteration" in err.value.message
+            assert client.ping()["pid"] > 0  # daemon is still healthy
+
+
+def test_request_id_is_echoed(tmp_path):
+    with DaemonThread(tmp_path) as harness:
+        with harness.client() as client:
+            response = client.request({"op": "ping", "id": "req-42"})
+    assert response["id"] == "req-42"
+
+
+def test_stats_document_shape(tmp_path):
+    with DaemonThread(tmp_path) as harness:
+        with harness.client() as client:
+            client.sweep(column((64,), engine="event"))
+            doc = client.stats()
+    for section in ("daemon", "cache", "lowering"):
+        assert section in doc
+    daemon = doc["daemon"]
+    for key in ("requests", "sweeps", "points", "hits", "misses",
+                "coalesced", "evaluations", "timeouts", "rejected",
+                "inflight", "active", "uptime_s", "jobs", "pid"):
+        assert key in daemon
+    assert daemon["inflight"] == 0 and daemon["active"] == 0
