@@ -40,12 +40,14 @@ COLLECTIVES = (
 )
 
 #: how a point is evaluated: the coroutine event loop (authoritative), the
-#: DAG fast path (bit-identical, planner-backed pairs only), the batch
-#: engine (bit-identical, whole size columns vectorized), the analytic
-#: tier (closed-form estimates — approximate, error-bounded, never picked
-#: by ``auto``; see :mod:`repro.sched.analytic`), or ``auto`` (DAG/batch
-#: whenever they apply, event loop otherwise)
-ENGINES = ("event", "dag", "batch", "analytic", "auto")
+#: DAG fast path (bit-identical, planner-backed pairs only), the native
+#: numba-JIT kernel (bit-identical to DAG; falls back to DAG without
+#: numba), the batch engine (bit-identical, whole size columns
+#: vectorized), the analytic tier (closed-form estimates — approximate,
+#: error-bounded, never picked by ``auto``; see
+#: :mod:`repro.sched.analytic`), or ``auto`` (native/DAG/batch whenever
+#: they apply, event loop otherwise)
+ENGINES = ("event", "dag", "native", "batch", "analytic", "auto")
 
 
 def resolve_engine(
@@ -53,18 +55,22 @@ def resolve_engine(
 ) -> str:
     """Resolve ``auto`` to the engine that will actually run.
 
-    ``auto`` picks the DAG fast path exactly when the (library, collective)
-    pair is planner-backed and no tracer is attached (phantom data is
-    implied: :func:`run_point` worlds are always phantom).  For a *single*
-    point the result is always ``"event"`` or ``"dag"``; the sweep runner
-    upgrades ``auto`` columns to the batch engine itself, where the whole
-    size axis is in hand (see :mod:`repro.bench.runner.pool`).
+    ``auto`` picks the replay fast path exactly when the (library,
+    collective) pair is planner-backed and no tracer is attached (phantom
+    data is implied: :func:`run_point` worlds are always phantom) — the
+    native JIT kernel when numba is importable, the pure-Python DAG
+    replay otherwise (same bits either way).  For a *single* point the
+    result is always ``"event"``, ``"dag"`` or ``"native"``; the sweep
+    runner upgrades ``auto`` columns to the batch engine itself, where
+    the whole size axis is in hand (see :mod:`repro.bench.runner.pool`).
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
     if engine == "auto":
         if not tracing and fastpath_supported(library, collective):
-            return "dag"
+            from repro.sched.native import native_available
+
+            return "native" if native_available() else "dag"
         return "event"
     return engine
 
@@ -196,7 +202,12 @@ def run_point(
     ``engine`` selects how the point is evaluated (see :data:`ENGINES`).
     ``"dag"`` replays the compiled schedule on the analytic fast path —
     bit-identical samples, no coroutines — and only covers planner-backed
-    pairs; it cannot trace.  ``"batch"`` routes through the vectorized
+    pairs; it cannot trace.  ``"native"`` lowers the same opcode programs
+    to numpy arrays and replays them in the numba-JIT kernel
+    (:mod:`repro.sched.native`) — bit-identical to ``"dag"``, same
+    coverage; without numba (or with ``PIPMCOLL_NO_NATIVE=1``), and for
+    points the lowering cannot represent, it transparently runs the DAG
+    replay instead.  ``"batch"`` routes through the vectorized
     column engine (:func:`repro.sched.batch.evaluate_column`) — same
     coverage and bit-identity contract as ``"dag"``; a single point gains
     nothing over it, the option exists so sweep drivers can thread one
@@ -253,6 +264,41 @@ def run_point(
             samples=fast.samples,
             internode_messages=fast.internode_messages,
         )
+    if engine == "native":
+        if tracer is not None:
+            raise ValueError(
+                "engine='native' cannot record traces; use engine='event'"
+            )
+        from repro.sched.native import (
+            NativeBailout,
+            native_available,
+            evaluate_point as _native_point,
+        )
+
+        fast = None
+        if native_available():
+            try:
+                fast = _native_point(
+                    library, collective, nodes, ppn, msg_bytes,
+                    params=params, warmup=warmup, measure=measure,
+                    thresholds=thresholds,
+                )
+            except NativeBailout:
+                # the lowered form cannot replay this point exactly; the
+                # DAG engine is the bit-identical pure-Python fallback
+                fast = None
+        if fast is not None:
+            return MicrobenchResult(
+                library=library,
+                collective=collective,
+                nodes=nodes,
+                ppn=ppn,
+                msg_bytes=msg_bytes,
+                time=sum(fast.samples) / len(fast.samples),
+                samples=fast.samples,
+                internode_messages=fast.internode_messages,
+            )
+        engine = "dag"
     if engine == "dag":
         if tracer is not None:
             raise ValueError(

@@ -13,7 +13,10 @@ backing shards are unchanged since their last recording).
 parallel/cached series are bit-identical — the determinism guarantee CI
 leans on.  ``--engine dag`` (or ``auto``) evaluates points on the analytic
 DAG fast path instead of the event loop — bit-identical results, several
-times faster on planner-backed sweeps; ``--engine batch`` evaluates whole
+times faster on planner-backed sweeps; ``--engine native`` replays the
+same lowered programs in the numba-JIT kernel (bit-identical to DAG,
+another order of magnitude when numba is installed, transparent DAG
+fallback when it is not); ``--engine batch`` evaluates whole
 message-size columns in one vectorized pass (bit-identical again, another
 multiple faster on dense axes; ``auto`` picks it by itself for
 planner-backed multi-size columns); ``--cache-stats`` reports cache
@@ -82,11 +85,12 @@ def main(argv=None) -> int:
         "--engine", default=None, choices=ENGINES,
         help="evaluation engine for every point: the coroutine event loop "
              "(authoritative), the DAG fast path (bit-identical, "
-             "planner-backed pairs only), batch (bit-identical; whole "
-             "size columns in one vectorized pass), or auto (batch for "
-             "planner-backed multi-size columns, DAG for the rest of its "
-             "coverage); default: PIPMCOLL_ENGINE or each point's own "
-             "setting",
+             "planner-backed pairs only), native (bit-identical; the "
+             "numba-JIT replay kernel, DAG fallback without numba), "
+             "batch (bit-identical; whole size columns in one vectorized "
+             "pass), or auto (batch for planner-backed multi-size "
+             "columns, native/DAG for the rest of its coverage); "
+             "default: PIPMCOLL_ENGINE or each point's own setting",
     )
     parser.add_argument(
         "--progress", action="store_true",
@@ -222,7 +226,7 @@ def main(argv=None) -> int:
             f"   [cache: {s['hits']} hits ({s['point_hits']} point / "
             f"{s['column_hits']} column), {s['misses']} misses "
             f"({s['point_misses']} point / {s['column_misses']} column), "
-            f"{s['legacy_hits']} legacy, {s['stores']} stores in "
+            f"{s['stores']} stores in "
             f"{s['flushes']} flushes, {s['bytes_read']}B read, "
             f"{s['bytes_written']}B written]"
         )

@@ -32,16 +32,15 @@ skipped and removed, see :mod:`repro.bench.runner.store`) and append-only,
 so concurrent pool workers, parallel pytest runs, and overlapping sweeps
 of the same column all land without read-merge-replace races.
 
-**Legacy JSON fallback (one release).**  Caches written before the 1.4.0
-epoch used one JSON file per point (``<root>/<key[:2]>/<key>.json``) and
-per column (``<root>/columns/...``), keyed under the legacy epoch.  Those
-entries still hit, read-only, through :data:`LEGACY_EPOCHS`: lookups that
-miss the shard store probe migrated legacy shards (``<root>/legacy/``)
-and then the raw JSON tree under the legacy keys.  ``python -m
-repro.bench.runner.cache migrate`` ingests a JSON tree into legacy shards
-once, after which the JSON files can be deleted.  The epoch bump
-guarantees a stale JSON entry can never alias a shard entry: the two
-namespaces hash different epoch strings.
+Caches written before the 1.4.0 epoch used one JSON file per point
+(``<root>/<key[:2]>/<key>.json``) and per column (``<root>/columns/...``).
+The read-only fallback that kept those hitting was scheduled for one
+release and has been removed: lookups consult the shard store only.
+``python -m repro.bench.runner.cache migrate`` still ingests an explicit
+legacy JSON tree into compact shards under ``<root>/legacy/`` (a storage
+conversion — those shards are keyed under their original epoch and are
+not consulted by lookups; entries from an old epoch are stale by
+definition, which is the point of the epoch).
 """
 
 from __future__ import annotations
@@ -51,7 +50,6 @@ import hashlib
 import json
 import os
 import sys
-import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -62,8 +60,7 @@ from repro.bench.runner.store import ShardStore
 
 __all__ = [
     "ResultCache", "cache_key", "column_key", "default_cache_dir",
-    "CACHE_EPOCH", "LEGACY_EPOCHS", "migrate",
-    "write_legacy_json_point", "write_legacy_json_column",
+    "CACHE_EPOCH", "migrate",
     "result_to_doc", "result_from_doc",
 ]
 
@@ -76,10 +73,6 @@ _DEFAULT_DIR = ".bench_cache"
 #: entries can never alias fresh ones.  See DESIGN.md §5 for the policy.
 CACHE_EPOCH = repro.__version__
 
-#: epochs whose pre-shard JSON caches are still readable (read-only
-#: fallback, kept for one release after the columnar store landed)
-LEGACY_EPOCHS = ("1.3.0",)
-
 
 def default_cache_dir() -> Path:
     return Path(os.environ.get(_ENV_DIR, _DEFAULT_DIR))
@@ -88,8 +81,8 @@ def default_cache_dir() -> Path:
 def cache_key(point: Point, epoch: Optional[str] = None) -> str:
     """Stable content hash identifying one point's result.
 
-    ``epoch`` defaults to :data:`CACHE_EPOCH`; the legacy fallback passes
-    entries of :data:`LEGACY_EPOCHS` to reproduce pre-shard JSON keys.
+    ``epoch`` defaults to :data:`CACHE_EPOCH`; tests pass explicit epochs
+    to pin that entries from different epochs can never alias.
     """
     payload = {"version": epoch or CACHE_EPOCH, "point": point.spec_dict()}
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -165,74 +158,14 @@ result_to_doc = _result_doc
 result_from_doc = _result_from_doc
 
 
-def _atomic_write(path: Path, encoded: bytes) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name,
-                               suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            fh.write(encoded)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
-
-
-# -- legacy JSON layout (pre-1.4.0 caches; read-only + migration) ----------
-
-
-def _legacy_point_path(root: Path, key: str) -> Path:
-    return root / key[:2] / f"{key}.json"
-
-
-def _legacy_column_path(root: Path, key: str) -> Path:
-    return root / "columns" / key[:2] / f"{key}.json"
-
-
-def write_legacy_json_point(
-    root: "Path | str", point: Point, result: MicrobenchResult,
-    epoch: str = LEGACY_EPOCHS[0],
-) -> Path:
-    """Write one pre-shard per-point JSON entry (tests and benchmarks
-    fabricate legacy caches with this; production code never writes JSON)."""
-    path = _legacy_point_path(Path(root), cache_key(point, epoch))
-    doc = {"version": epoch, **_result_doc(result)}
-    _atomic_write(path, json.dumps(doc, separators=(",", ":")).encode())
-    return path
-
-
-def write_legacy_json_column(
-    root: "Path | str",
-    points: Sequence[Point],
-    results: Sequence[MicrobenchResult],
-    epoch: str = LEGACY_EPOCHS[0],
-) -> Path:
-    """Write one pre-shard column JSON document (see
-    :func:`write_legacy_json_point`); all points must share a column."""
-    keys = {column_key(p, epoch) for p in points}
-    if len(keys) != 1:
-        raise ValueError(f"points span {len(keys)} columns, expected 1")
-    path = _legacy_column_path(Path(root), keys.pop())
-    entries = {
-        str(p.msg_bytes): _result_doc(r) for p, r in zip(points, results)
-    }
-    doc = {"version": epoch, "entries": entries}
-    _atomic_write(path, json.dumps(doc, separators=(",", ":")).encode())
-    return path
-
-
 class ResultCache:
     """Memoized :class:`MicrobenchResult` values in a columnar store.
 
-    Reads consult, in order: the in-memory write buffer, the shard store,
-    migrated legacy shards, and (read-only) any pre-1.4.0 JSON tree left
-    in the same directory.  Writes buffer in memory per column group and
-    publish as whole shards on :meth:`flush` — called automatically once
-    ``flush_threshold`` rows are pending, by :meth:`put_many` (a column
-    is a natural batch), and by the sweep runner at the end of each run.
+    Reads consult the in-memory write buffer, then the shard store.
+    Writes buffer in memory per column group and publish as whole shards
+    on :meth:`flush` — called automatically once ``flush_threshold`` rows
+    are pending, by :meth:`put_many` (a column is a natural batch), and
+    by the sweep runner at the end of each run.
     """
 
     def __init__(
@@ -240,7 +173,6 @@ class ResultCache:
     ):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.store = ShardStore(self.root / "shards")
-        self._legacy = ShardStore(self.root / "legacy")
         self.flush_threshold = flush_threshold
         #: counters since construction (``--cache-stats`` reporting);
         #: point_* from :meth:`get`, column_* from :meth:`get_many` — the
@@ -249,15 +181,11 @@ class ResultCache:
         self.point_misses = 0
         self.column_hits = 0
         self.column_misses = 0
-        self.legacy_hits = 0
         self.stores = 0
         self.flushes = 0
-        self._json_bytes_read = 0
         #: pending rows, keyed by column group then message size
         self._pending: Dict[str, Dict[int, MicrobenchResult]] = {}
         self._pending_rows = 0
-        #: memoized legacy column JSON documents (read-only, so safe)
-        self._legacy_cols: Dict[str, Optional[dict]] = {}
 
     # -- aggregate counters ---------------------------------------------
 
@@ -272,10 +200,7 @@ class ResultCache:
 
     @property
     def bytes_read(self) -> int:
-        return (
-            self.store.bytes_read + self._legacy.bytes_read
-            + self._json_bytes_read
-        )
+        return self.store.bytes_read
 
     @property
     def bytes_written(self) -> int:
@@ -291,7 +216,6 @@ class ResultCache:
             "point_misses": self.point_misses,
             "column_hits": self.column_hits,
             "column_misses": self.column_misses,
-            "legacy_hits": self.legacy_hits,
             "stores": self.stores,
             "flushes": self.flushes,
             "pending_rows": self._pending_rows,
@@ -308,58 +232,7 @@ class ResultCache:
         pending = self._pending.get(key)
         if pending is not None and point.msg_bytes in pending:
             return pending[point.msg_bytes]
-        row = self.store.group(key).get(point.msg_bytes)
-        if row is None:
-            row = self._legacy_lookup(point)
-            if row is not None:
-                self.legacy_hits += 1
-        return row
-
-    def _legacy_lookup(self, point: Point) -> Optional[MicrobenchResult]:
-        """Read-only fallback: migrated legacy shards, then raw JSON."""
-        for epoch in LEGACY_EPOCHS:
-            col_key = column_key(point, epoch)
-            pt_key = cache_key(point, epoch)
-            for legacy_key in (col_key, pt_key):
-                row = self._legacy.group(legacy_key).get(point.msg_bytes)
-                if row is not None:
-                    return row
-            entries = self._read_legacy_column_json(col_key)
-            if entries is not None:
-                doc = entries.get(str(point.msg_bytes))
-                if doc is not None:
-                    try:
-                        return _result_from_doc(doc)
-                    except (ValueError, KeyError, TypeError):
-                        pass
-            row = self._read_legacy_point_json(pt_key)
-            if row is not None:
-                return row
-        return None
-
-    def _read_legacy_column_json(self, key: str) -> Optional[dict]:
-        if key in self._legacy_cols:
-            return self._legacy_cols[key]
-        entries: Optional[dict] = None
-        try:
-            raw = _legacy_column_path(self.root, key).read_bytes()
-            doc = json.loads(raw)
-            if isinstance(doc.get("entries"), dict):
-                entries = doc["entries"]
-                self._json_bytes_read += len(raw)
-        except (OSError, ValueError):
-            pass
-        self._legacy_cols[key] = entries
-        return entries
-
-    def _read_legacy_point_json(self, key: str) -> Optional[MicrobenchResult]:
-        try:
-            raw = _legacy_point_path(self.root, key).read_bytes()
-            result = _result_from_doc(json.loads(raw))
-        except (OSError, ValueError, KeyError, TypeError):
-            return None
-        self._json_bytes_read += len(raw)
-        return result
+        return self.store.group(key).get(point.msg_bytes)
 
     def peek(self, point: Point) -> Optional[MicrobenchResult]:
         """:meth:`get` without touching the hit/miss counters.
@@ -451,12 +324,12 @@ class ResultCache:
     # -- maintenance ------------------------------------------------------
 
     def clear(self) -> int:
-        """Delete every entry (shards, legacy shards, legacy JSON);
-        discards pending rows; returns files removed."""
+        """Delete every entry (shards, plus any migrated legacy shards or
+        stray pre-1.4.0 JSON files left in the directory); discards
+        pending rows; returns files removed."""
         self._pending.clear()
         self._pending_rows = 0
-        self._legacy_cols.clear()
-        removed = self.store.clear() + self._legacy.clear()
+        removed = self.store.clear() + ShardStore(self.root / "legacy").clear()
         if self.root.exists():
             for pattern in ("*/*.json", "columns/*/*.json"):
                 for entry in self.root.glob(pattern):
@@ -468,20 +341,8 @@ class ResultCache:
         return removed
 
     def __len__(self) -> int:
-        """Entries on disk: shard rows plus legacy shard rows plus legacy
-        JSON entries (pending rows are not yet entries)."""
-        n = self.store.entry_count() + self._legacy.entry_count()
-        if self.root.exists():
-            for path in self.root.glob("*/*.json"):
-                if path.parent.parent.name == "columns":
-                    continue
-                n += 1
-            for path in self.root.glob("columns/*/*.json"):
-                try:
-                    n += len(json.loads(path.read_bytes())["entries"])
-                except (OSError, ValueError, KeyError, TypeError):
-                    pass
-        return n
+        """Entries on disk (pending rows are not yet entries)."""
+        return self.store.entry_count()
 
 
 # -- migration tool ---------------------------------------------------------
@@ -494,11 +355,14 @@ def migrate(
 
     Per-point files become one-row shards and column documents become
     whole-column shards, both under ``<root>/legacy/`` keyed by the
-    *legacy* key the JSON file was stored under (the filename) — lookups
-    probe those keys through :data:`LEGACY_EPOCHS`, so migrated entries
-    keep hitting bit-identically.  Idempotent: entries already present in
-    the legacy store are skipped.  ``purge_json=True`` removes each JSON
-    file after successful ingestion.
+    *legacy* key the JSON file was stored under (the filename).  This is
+    a storage conversion for explicit legacy trees: thousands of JSON
+    files become a handful of compact shards.  Since 1.5.0 lookups no
+    longer consult legacy entries (they were keyed under an old epoch and
+    are stale by definition), so migration is archival — inspect the
+    result with the ``stats`` subcommand.  Idempotent: entries already
+    present in the legacy store are skipped.  ``purge_json=True`` removes
+    each JSON file after successful ingestion.
     """
     root = Path(root) if root is not None else default_cache_dir()
     legacy = ShardStore(root / "legacy")
@@ -552,8 +416,9 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     mig = sub.add_parser(
         "migrate",
-        help="ingest a pre-1.4.0 JSON cache tree into legacy shards "
-             "(idempotent; old entries keep hitting afterwards)",
+        help="ingest a pre-1.4.0 JSON cache tree into compact legacy "
+             "shards (idempotent storage conversion; legacy entries are "
+             "no longer consulted by lookups)",
     )
     mig.add_argument(
         "--root", default=None,
@@ -582,11 +447,12 @@ def main(argv=None) -> int:
         )
         return 0
     cache = ResultCache(root)
+    legacy = ShardStore(root / "legacy")
     print(
         f"{root}: {cache.store.shard_count()} shards, "
         f"{cache.store.entry_count()} entries, "
-        f"{cache._legacy.shard_count()} legacy shards, "
-        f"{cache._legacy.entry_count()} legacy entries"
+        f"{legacy.shard_count()} legacy shards, "
+        f"{legacy.entry_count()} legacy entries"
     )
     return 0
 

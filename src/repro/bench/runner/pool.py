@@ -222,8 +222,8 @@ class SweepRunner:
         ``PIPMCOLL_PROGRESS`` and, when set, prints to stderr.
     engine:
         Force every point onto one evaluation engine (``"event"``,
-        ``"dag"``, ``"batch"`` or ``"auto"``); ``None`` reads
-        ``PIPMCOLL_ENGINE`` and,
+        ``"dag"``, ``"native"``, ``"batch"`` or ``"auto"``); ``None``
+        reads ``PIPMCOLL_ENGINE`` and,
         when that is unset too, leaves each point's own ``engine`` field
         alone.  The override rewrites the points before the cache pass, so
         it is part of the cache key like any other spec field.

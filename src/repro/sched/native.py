@@ -1,0 +1,649 @@
+"""Native replay engine: lowers fastpath opcode programs to array form.
+
+``engine="native"`` is the fourth exact tier: the DAG fast path's flat
+opcode programs (:mod:`repro.sched.fastpath`) are lowered one step further
+— buffer names interned to integers, operands packed into int64 tables,
+tag expressions resolved to dense queue/board/counter ids — and replayed
+by the nopython kernel in :mod:`repro.sim.native_timeline`, which runs
+numba-JIT-compiled when numba is installed and as plain Python otherwise.
+
+Division of labour per iteration:
+
+* **Python prologue** (this module): evaluate the per-iteration dynamic
+  tag builders (the same closures :class:`~repro.sched.fastpath._Task`
+  uses), map each tag value to a dense integer id — send/recv tags to
+  match-queue ids (fresh per iteration; queues provably drain), board and
+  counter keys to *persistent* slots (their state survives iterations,
+  exactly like ``FastWorld.boards``/``counters``) — and size the CSR
+  scratch arrays.
+* **Kernel** (:func:`repro.sim.native_timeline.build_kernels`): the whole
+  event loop — heap, ready ring, matching, cost closures — over those
+  arrays.  See that module's docstring for the float-for-float identity
+  argument.
+
+Anything the array form cannot represent exactly makes the kernel return
+a non-OK status and this module raises :class:`NativeBailout`;
+:func:`repro.bench.microbench.run_point` then falls back to the DAG
+engine, so ``engine="native"`` never returns approximate numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hw.params import MachineParams, bebop_broadwell
+from repro.mpi.transport import RTS_HEADER_BYTES
+from repro.sched.fastpath import (
+    FastpathResult,
+    _DISPLAY_NAMES,
+    _OP_ADD,
+    _OP_ALLOC,
+    _OP_COMPUTE,
+    _OP_COPY,
+    _OP_CWAIT,
+    _OP_LOOKUP,
+    _OP_PHASE,
+    _OP_POST,
+    _OP_RECV,
+    _OP_REDUCE,
+    _OP_SEND_INTER,
+    _OP_SEND_INTRA,
+    _OP_WAIT,
+    _compiled_for,
+    fastpath_supported,
+)
+from repro.sched.registry import plan_for
+from repro.shmem.mechanisms import (
+    HybridMechanism,
+    KernelCopy,
+    PipShmem,
+    PosixShmem,
+    Xpmem,
+)
+from repro.sim.engine import DeadlockError
+from repro.sim import native_timeline as nt
+
+__all__ = [
+    "NativeBailout",
+    "native_supported",
+    "native_available",
+    "evaluate_point",
+    "evaluate_tables",
+    "warm_kernels",
+    "NativeWorld",
+]
+
+
+class NativeBailout(RuntimeError):
+    """The lowered form cannot replay this point exactly; use the DAG
+    engine instead (callers treat this as a graceful, exact fallback)."""
+
+
+#: coverage is identical to the DAG engine: the planner-backed registry
+native_supported = fastpath_supported
+
+
+def native_available() -> bool:
+    """True when the JIT tier is usable (numba importable, not disabled
+    via ``PIPMCOLL_NO_NATIVE``).  Without it, ``engine="native"`` runs
+    the DAG engine instead — same bits, pure Python."""
+    return nt.jit_available()
+
+
+_MECH_CODES = {
+    PosixShmem: nt.MECH_POSIX,
+    KernelCopy: nt.MECH_KERNEL,
+    Xpmem: nt.MECH_XPMEM,
+    PipShmem: nt.MECH_PIP,
+}
+
+#: tag-op kinds for the per-iteration id-resolution scan
+_T_SEND, _T_RECV, _T_POST, _T_LOOKUP, _T_ADD, _T_CWAIT = range(6)
+
+_NO_THRESHOLD = 1 << 60
+
+
+def _mechanism_codes(mech) -> Tuple[int, int, int]:
+    """(small_code, large_code, threshold) for the kernel dispatch."""
+    if isinstance(mech, HybridMechanism):
+        small = _MECH_CODES.get(type(mech.small))
+        large = _MECH_CODES.get(type(mech.large))
+        if small is None or large is None:
+            raise NativeBailout(
+                f"mechanism {mech.name!r} has no native lowering"
+            )
+        return small, large, mech.threshold
+    code = _MECH_CODES.get(type(mech))
+    if code is None:
+        raise NativeBailout(f"mechanism {mech!r} has no native lowering")
+    return code, code, _NO_THRESHOLD
+
+
+class NativeWorld:
+    """One sweep point's lowered schedule + persistent hardware state.
+
+    The analogue of :class:`~repro.sched.fastpath.FastWorld`: all state
+    persists across iterations (the warm-up protocol), but it lives in
+    flat numpy arrays the kernel mutates in place.
+    """
+
+    def __init__(self, params: MachineParams, nodes: int, ppn: int,
+                 mechanism, software_overhead: float, schedule,
+                 bindings, flat: bool, iters: int,
+                 force_interp: bool = False):
+        params.validate()
+        self.params = params
+        self.nodes = nodes
+        self.ppn = ppn
+        self.size = nodes * ppn
+        self.schedule = schedule
+        self.flat = flat
+        self.tag_key = hash(tuple(range(self.size))) if flat else None
+        self._group_seqs: Dict = {}
+        self._op_seq = 0
+        self._buf_seq = 0
+        self.kernels = nt.get_kernels(force_interp=force_interp)
+
+        small, large, thresh = _mechanism_codes(mechanism)
+
+        compiled = _compiled_for(schedule, ppn)
+        ntasks = len(compiled)
+        if ntasks != self.size:
+            raise NativeBailout("schedule size != nodes * ppn")
+
+        # -- name / phase interning ------------------------------------
+        names: Dict[str, int] = {}
+
+        def name_id(n: str) -> int:
+            i = names.get(n)
+            if i is None:
+                i = names[n] = len(names)
+            return i
+
+        phases: Dict[str, int] = {"": 0}
+
+        def phase_id(n: str) -> int:
+            i = phases.get(n)
+            if i is None:
+                i = phases[n] = len(phases)
+            return i
+
+        # -- opcode lowering -------------------------------------------
+        rows: List[List[int]] = []
+        fconst: List[float] = []
+        wlists: List[int] = []
+        opstart = [0]
+        # per-task: (global op idx, kind, partner, tag slot)
+        self.tag_ops: List[List[Tuple[int, int, int, int]]] = []
+        self.tags: List[list] = []
+        self.dyn_tags = []
+        n_sends = 0
+        n_recvs = 0
+        n_allocs = 0
+        max_handles = 1
+        for index, comp in enumerate(compiled):
+            node = index // ppn
+            t_ops: List[Tuple[int, int, int, int]] = []
+            max_handles = max(max_handles, comp.num_handles)
+            for op in comp.ops:
+                gi = len(rows)
+                code = op[0]
+                if code == _OP_SEND_INTRA:
+                    _, dst, name, off, cnt, slot, handle = op
+                    rows.append([code, dst, name_id(name), off,
+                                 -1 if cnt is None else cnt, handle, 0])
+                    t_ops.append((gi, _T_SEND, dst, slot))
+                    n_sends += 1
+                elif code == _OP_SEND_INTER:
+                    _, dst, dst_node, name, off, cnt, slot, handle = op
+                    rows.append([code, dst, dst_node, name_id(name), off,
+                                 -1 if cnt is None else cnt, handle])
+                    t_ops.append((gi, _T_SEND, dst, slot))
+                    n_sends += 1
+                elif code == _OP_RECV:
+                    _, src, slot, handle = op
+                    rows.append([code, handle, 0, 0, 0, 0, 0])
+                    t_ops.append((gi, _T_RECV, src, slot))
+                    n_recvs += 1
+                elif code == _OP_WAIT:
+                    _, handles, ln = op
+                    rows.append([code, len(wlists), ln, 0, 0, 0, 0])
+                    wlists.extend(handles)
+                elif code in (_OP_COPY, _OP_REDUCE):
+                    _, name, off, cnt = op
+                    rows.append([code, name_id(name), off,
+                                 -1 if cnt is None else cnt, 0, 0, 0])
+                elif code == _OP_POST:
+                    _, slot, name, off, cnt = op
+                    rows.append([code, name_id(name), off,
+                                 -1 if cnt is None else cnt, 0, 0, 0])
+                    t_ops.append((gi, _T_POST, node, slot))
+                elif code == _OP_LOOKUP:
+                    _, slot, bind = op
+                    rows.append([code, -1 if bind is None else name_id(bind),
+                                 0, 0, 0, 0, 0])
+                    t_ops.append((gi, _T_LOOKUP, node, slot))
+                elif code == _OP_ADD:
+                    _, slot, n = op
+                    rows.append([code, n, 0, 0, 0, 0, 0])
+                    t_ops.append((gi, _T_ADD, node, slot))
+                elif code == _OP_CWAIT:
+                    _, slot, n = op
+                    rows.append([code, n, 0, 0, 0, 0, 0])
+                    t_ops.append((gi, _T_CWAIT, node, slot))
+                elif code == _OP_ALLOC:
+                    _, name, count = op
+                    rows.append([code, name_id(name), count, 0, 0, 0, 0])
+                    n_allocs += 1
+                elif code == _OP_PHASE:
+                    rows.append([code, phase_id(op[1]), 0, 0, 0, 0, 0])
+                else:  # _OP_COMPUTE
+                    rows.append([code, len(fconst), 0, 0, 0, 0, 0])
+                    fconst.append(op[1])
+            opstart.append(len(rows))
+            self.tag_ops.append(t_ops)
+            self.tags.append(list(comp.const_tags))
+            self.dyn_tags.append(comp.dyn_tags)
+
+        i64 = np.int64
+        self.OPS = np.array(rows, dtype=i64).reshape(len(rows), 7)
+        self.FCONST = np.array(fconst or [0.0], dtype=np.float64)
+        self.WLISTS = np.array(wlists or [0], dtype=i64)
+        self.OPSTART = np.array(opstart, dtype=i64)
+        self.TNODE = np.array([i // ppn for i in range(ntasks)], dtype=i64)
+        self.TLR = np.array([i % ppn for i in range(ntasks)], dtype=i64)
+        nops = len(rows)
+        self.OPQ = np.full(nops, -1, dtype=i64)
+        self.OPB = np.full(nops, -1, dtype=i64)
+        self.OPCID = np.full(nops, -1, dtype=i64)
+        self.ntasks = ntasks
+        self.n_names = max(1, len(names))
+        self.names = names
+        self.phase_names = [p for p, _ in sorted(phases.items(),
+                                                 key=lambda kv: kv[1])]
+        self.n_sends = n_sends
+        self.n_reqs = max(1, n_sends + n_recvs)
+
+        # base environments (name -> (buffer_id, count)); fresh buffer ids
+        # in the exact order FastWorld._prepare assigns them
+        self.env0_bid = np.full((ntasks, self.n_names), -1, dtype=i64)
+        self.env0_cnt = np.full((ntasks, self.n_names), -1, dtype=i64)
+        for index, binding in enumerate(bindings):
+            for bname, cnt in binding.items():
+                self._buf_seq += 1
+                ni = name_id(bname)
+                if ni >= self.n_names:  # binding-only name
+                    grow = ni + 1 - self.env0_bid.shape[1]
+                    pad = np.full((ntasks, grow), -1, dtype=i64)
+                    self.env0_bid = np.concatenate(
+                        [self.env0_bid, pad], axis=1)
+                    self.env0_cnt = np.concatenate(
+                        [self.env0_cnt, pad.copy()], axis=1)
+                    self.n_names = ni + 1
+                self.env0_bid[index, ni] = self._buf_seq
+                self.env0_cnt[index, ni] = cnt
+        self.ENVB = np.empty_like(self.env0_bid)
+        self.ENVC = np.empty_like(self.env0_cnt)
+        self.HANDLE = np.zeros((ntasks, max_handles), dtype=i64)
+        self.SCR = np.zeros((ntasks, nt.S_LEN), dtype=i64)
+
+        # -- parameter vectors -----------------------------------------
+        P = np.zeros(nt.P_LEN, dtype=np.float64)
+        P[nt.P_PROC_BW] = params.proc_bandwidth
+        P[nt.P_PROC_DMA_BW] = params.proc_dma_bandwidth
+        P[nt.P_RATE_FLOOR] = 1.0 / params.proc_msg_rate
+        P[nt.P_NIC_BW] = params.nic_bandwidth
+        P[nt.P_NIC_INTERVAL] = 1.0 / params.nic_msg_rate
+        P[nt.P_FABRIC_BW] = params.fabric_bandwidth or 0.0
+        P[nt.P_WIRE_LAT] = params.wire_latency
+        P[nt.P_SEND_OVH] = params.send_overhead
+        P[nt.P_RECV_OVH] = params.recv_overhead
+        P[nt.P_PIP_POST] = params.pip_post_time
+        P[nt.P_PIP_FLAG] = params.pip_flag_time
+        P[nt.P_COPY_LAT] = params.copy_latency
+        P[nt.P_CORE_BW] = params.core_copy_bw
+        P[nt.P_REDUCE_BW] = params.reduce_bw
+        P[nt.P_PAGE_FAULT] = params.page_fault_time
+        P[nt.P_SYSCALL] = params.syscall_time
+        P[nt.P_SIZESYNC] = params.pip_sizesync_time
+        P[nt.P_XP_EXPOSE] = params.xpmem_expose_time
+        P[nt.P_XP_ATTACH] = params.xpmem_attach_time
+        P[nt.P_XP_REATTACH] = params.xpmem_reattach_time
+        P[nt.P_SW_OVH] = software_overhead
+        self.P = P
+        C = np.zeros(nt.C_LEN, dtype=i64)
+        C[nt.C_NODES] = nodes
+        C[nt.C_PPN] = ppn
+        C[nt.C_NTASKS] = ntasks
+        C[nt.C_HAS_FABRIC] = 1 if params.fabric_bandwidth else 0
+        C[nt.C_MECH_SMALL] = small
+        C[nt.C_MECH_LARGE] = large
+        C[nt.C_MECH_THRESH] = thresh
+        C[nt.C_EAGER_THRESH] = params.eager_threshold
+        C[nt.C_PAGE_SIZE] = params.page_size
+        C[nt.C_RTS_BYTES] = RTS_HEADER_BYTES
+        self.C = C
+
+        # -- persistent hardware state ---------------------------------
+        f64 = np.float64
+        self.inj_free = np.zeros((nodes, ppn), dtype=f64)
+        self.nic_state = np.zeros((nodes, 4), dtype=f64)
+        self.fabric_free = np.zeros(1, dtype=f64)
+        self.msgs_sent = np.zeros(nodes, dtype=i64)
+        self.lane_free = np.zeros(
+            (nodes, params.derived_copy_lanes()), dtype=f64)
+        nbufs = self._buf_seq + iters * n_allocs + 2
+        self.warm = np.zeros((3, self.size, nbufs), dtype=i64)
+
+        # -- persistent boards / counters ------------------------------
+        self._bmap: Dict = {}
+        self._cmap: Dict = {}
+        self.btrig = np.zeros(0, dtype=i64)
+        self.bval = np.zeros(0, dtype=i64)
+        self.cval = np.zeros(0, dtype=i64)
+
+        # -- pools and queues (capacity is static per schedule) --------
+        nmsgs = max(1, n_sends)
+        self.m_src = np.zeros(nmsgs, dtype=i64)
+        self.m_nbytes = np.zeros(nmsgs, dtype=i64)
+        self.m_bid = np.zeros(nmsgs, dtype=i64)
+        self.m_qid = np.zeros(nmsgs, dtype=i64)
+        self.m_flags = np.zeros(nmsgs, dtype=i64)
+        self.m_lr = np.zeros(nmsgs, dtype=i64)
+        self.m_sreq = np.zeros(nmsgs, dtype=i64)
+        self.q_kind = np.zeros(self.n_reqs, dtype=i64)
+        self.q_done = np.zeros(self.n_reqs, dtype=i64)
+        self.q_val = np.zeros(self.n_reqs, dtype=i64)
+        self.q_wait = np.zeros(self.n_reqs, dtype=i64)
+        hcap = 2 * ntasks + 2 * max(1, n_sends) + 16
+        self.ht = np.zeros(hcap, dtype=f64)
+        self.hs = np.zeros(hcap, dtype=i64)
+        self.hk = np.zeros(hcap, dtype=i64)
+        self.hta = np.zeros(hcap, dtype=i64)
+        self.hx = np.zeros(hcap, dtype=i64)
+        rcap = 2 * (ntasks + self.n_reqs) + 16
+        self.r_kind = np.zeros(rcap, dtype=i64)
+        self.r_task = np.zeros(rcap, dtype=i64)
+        self.r_aux = np.zeros(rcap, dtype=i64)
+        self.end_times = np.zeros(ntasks, dtype=f64)
+        self.acct = np.zeros((ntasks, max(1, len(self.phase_names)), 6),
+                             dtype=i64)
+        self.acct_touch = np.zeros((ntasks, max(1, len(self.phase_names))),
+                                   dtype=i64)
+        # io cells: [seq, buf_seq, unexpected, status, live]
+        self.io_i = np.zeros(6, dtype=i64)
+        self.io_i[1] = self._buf_seq
+        self.io_f = np.zeros(2, dtype=f64)
+
+    # -- identity ----------------------------------------------------
+
+    def next_group_tag(self, tag_key) -> tuple:
+        seq = self._group_seqs.get(tag_key, 0) + 1
+        self._group_seqs[tag_key] = seq
+        return (tag_key, seq)
+
+    def internode_messages(self) -> int:
+        return int(self.msgs_sent.sum())
+
+    # -- one iteration -------------------------------------------------
+
+    def run_iteration(self) -> float:
+        k = self.schedule.num_namespaces
+        ns_values = tuple(range(self._op_seq + 1, self._op_seq + 1 + k))
+        self._op_seq += k
+        symbols = (
+            {"tag": self.next_group_tag(self.tag_key)} if self.flat else {}
+        )
+
+        # prologue: resolve tag values to dense ids
+        qmap: Dict = {}
+        bmap = self._bmap
+        cmap = self._cmap
+        send_q: List[int] = []
+        recv_q: List[int] = []
+        lookup_b: List[int] = []
+        cwait_c: List[int] = []
+        OPQ = self.OPQ
+        OPB = self.OPB
+        OPCID = self.OPCID
+        for index in range(self.ntasks):
+            tags = self.tags[index]
+            dyn = self.dyn_tags[index]
+            if dyn:
+                for slot, builder in dyn:
+                    tags[slot] = builder(ns_values, symbols)
+            for gi, kind, partner, slot in self.tag_ops[index]:
+                v = tags[slot]
+                if kind == _T_SEND:
+                    key = (partner, index, v)
+                    qid = qmap.get(key)
+                    if qid is None:
+                        qid = qmap[key] = len(qmap)
+                    OPQ[gi] = qid
+                    send_q.append(qid)
+                elif kind == _T_RECV:
+                    key = (index, partner, v)
+                    qid = qmap.get(key)
+                    if qid is None:
+                        qid = qmap[key] = len(qmap)
+                    OPQ[gi] = qid
+                    recv_q.append(qid)
+                elif kind == _T_POST or kind == _T_LOOKUP:
+                    key = (partner, v)
+                    b = bmap.get(key)
+                    if b is None:
+                        b = bmap[key] = len(bmap)
+                    OPB[gi] = b
+                    if kind == _T_LOOKUP:
+                        lookup_b.append(b)
+                else:
+                    key = (partner, v)
+                    c = cmap.get(key)
+                    if c is None:
+                        c = cmap[key] = len(cmap)
+                    OPCID[gi] = c
+                    if kind == _T_CWAIT:
+                        cwait_c.append(c)
+
+        i64 = np.int64
+        nq = max(1, len(qmap))
+        acnt = np.bincount(np.array(send_q, dtype=i64), minlength=nq) \
+            if send_q else np.zeros(nq, dtype=i64)
+        pcnt = np.bincount(np.array(recv_q, dtype=i64), minlength=nq) \
+            if recv_q else np.zeros(nq, dtype=i64)
+        aq_off = np.zeros(nq + 1, dtype=i64)
+        np.cumsum(acnt, out=aq_off[1:])
+        pq_off = np.zeros(nq + 1, dtype=i64)
+        np.cumsum(pcnt, out=pq_off[1:])
+        aq_store = np.zeros(max(1, int(aq_off[-1])), dtype=i64)
+        pq_store = np.zeros(max(1, int(pq_off[-1])), dtype=i64)
+        aq_head = np.zeros(nq, dtype=i64)
+        aq_tail = np.zeros(nq, dtype=i64)
+        pq_head = np.zeros(nq, dtype=i64)
+        pq_tail = np.zeros(nq, dtype=i64)
+        self.C[nt.C_NQUEUES] = len(qmap)
+
+        nb = max(1, len(bmap))
+        if len(self.btrig) < len(bmap):
+            grow = len(bmap) - len(self.btrig)
+            self.btrig = np.concatenate(
+                [self.btrig, np.zeros(grow, dtype=i64)])
+            self.bval = np.concatenate(
+                [self.bval, np.zeros(grow, dtype=i64)])
+        bcnt = np.bincount(np.array(lookup_b, dtype=i64), minlength=nb) \
+            if lookup_b else np.zeros(nb, dtype=i64)
+        bw_off = np.zeros(nb + 1, dtype=i64)
+        np.cumsum(bcnt, out=bw_off[1:])
+        bw_task = np.zeros(max(1, int(bw_off[-1])), dtype=i64)
+        bw_tail = np.zeros(nb, dtype=i64)
+        btrig = self.btrig if len(self.btrig) else np.zeros(1, dtype=i64)
+        bval = self.bval if len(self.bval) else np.zeros(1, dtype=i64)
+
+        ncs = max(1, len(cmap))
+        if len(self.cval) < len(cmap):
+            self.cval = np.concatenate(
+                [self.cval,
+                 np.zeros(len(cmap) - len(self.cval), dtype=i64)])
+        ccnt = np.bincount(np.array(cwait_c, dtype=i64), minlength=ncs) \
+            if cwait_c else np.zeros(ncs, dtype=i64)
+        cw_off = np.zeros(ncs + 1, dtype=i64)
+        np.cumsum(ccnt, out=cw_off[1:])
+        ccap = max(1, int(cw_off[-1]))
+        cw_thr = np.zeros(ccap, dtype=i64)
+        cw_task = np.zeros(ccap, dtype=i64)
+        cw_act = np.zeros(ccap, dtype=i64)
+        cw_tail = np.zeros(ncs, dtype=i64)
+        cval = self.cval if len(self.cval) else np.zeros(1, dtype=i64)
+
+        np.copyto(self.ENVB, self.env0_bid)
+        np.copyto(self.ENVC, self.env0_cnt)
+
+        replay = self.kernels["replay"]
+        status = replay(
+            self.P, self.C, self.OPS, self.FCONST, self.WLISTS,
+            self.OPSTART, self.TNODE, self.TLR,
+            OPQ, OPB, OPCID,
+            self.ENVB, self.ENVC, self.HANDLE, self.SCR,
+            self.inj_free, self.nic_state, self.fabric_free,
+            self.msgs_sent, self.lane_free, self.warm,
+            btrig, bval, bw_off, bw_task, bw_tail,
+            cval, cw_off, cw_thr, cw_task, cw_act, cw_tail,
+            aq_off, aq_store, aq_head, aq_tail,
+            pq_off, pq_store, pq_head, pq_tail,
+            self.m_src, self.m_nbytes, self.m_bid, self.m_qid,
+            self.m_flags, self.m_lr, self.m_sreq,
+            self.q_kind, self.q_done, self.q_val, self.q_wait,
+            self.ht, self.hs, self.hk, self.hta, self.hx,
+            self.r_kind, self.r_task, self.r_aux,
+            self.end_times, self.acct, self.acct_touch,
+            self.io_i, self.io_f,
+        )
+        if status == nt.ST_DEADLOCK:
+            raise DeadlockError(
+                f"{self.io_i[4]} schedule program(s) blocked at "
+                f"t={self.io_f[0]} — native evaluation deadlocked"
+            )
+        if status != nt.ST_OK:
+            raise NativeBailout(f"native kernel bailed (status {status})")
+        return float(self.io_f[1])
+
+    def volume_tables(self) -> Dict[Tuple[int, str], List[int]]:
+        """The accounting rows in the static checker's layout."""
+        out: Dict[Tuple[int, str], List[int]] = {}
+        for rank in range(self.ntasks):
+            for p, pname in enumerate(self.phase_names):
+                if self.acct_touch[rank, p]:
+                    out[(rank, pname)] = [int(v) for v in
+                                          self.acct[rank, p]]
+        return out
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def _prepare(library: str, collective: str, nodes: int, ppn: int,
+             msg_bytes: int, params: Optional[MachineParams], thresholds,
+             iters: int, force_interp: bool) -> NativeWorld:
+    from repro.baselines.registry import make_library
+
+    if not native_supported(library, collective):
+        raise ValueError(
+            f"engine='native' does not cover ({library!r}, "
+            f"{collective!r}); only planner-backed pairs are supported — "
+            f"use engine='event'"
+        )
+    canon = library.lower().replace("_", "-").replace(" ", "-")
+    lib = make_library(_DISPLAY_NAMES[canon])
+    if thresholds is not None and not hasattr(lib, "thresholds"):
+        raise ValueError(
+            f"library {library!r} has no size thresholds to override"
+        )
+    planned = plan_for(
+        canon, collective, nodes, ppn, msg_bytes, thresholds=thresholds
+    )
+    flat = bool(planned.symbols)
+    return NativeWorld(
+        params if params is not None else bebop_broadwell(),
+        nodes, ppn, lib.make_mechanism(), lib.software_overhead,
+        planned.schedule, planned.bindings, flat, iters,
+        force_interp=force_interp,
+    )
+
+
+def evaluate_point(
+    library: str,
+    collective: str,
+    nodes: int,
+    ppn: int,
+    msg_bytes: int,
+    params: Optional[MachineParams] = None,
+    warmup: int = 1,
+    measure: int = 2,
+    thresholds=None,
+    force_interp: bool = False,
+) -> FastpathResult:
+    """Evaluate one microbenchmark point on the native kernel.
+
+    Same protocol and result shape as
+    :func:`repro.sched.fastpath.evaluate_point`, bit-identical samples.
+    ``force_interp=True`` runs the kernel un-jitted even when numba is
+    installed (the identity tests use it so the kernel logic is pinned
+    on numba-free installs too).
+    """
+    if measure < 1:
+        raise ValueError("need at least one measured iteration")
+    world = _prepare(
+        library, collective, nodes, ppn, msg_bytes, params, thresholds,
+        warmup + measure, force_interp,
+    )
+    samples = []
+    for it in range(warmup + measure):
+        elapsed = world.run_iteration()
+        if it >= warmup:
+            samples.append(elapsed)
+    return FastpathResult(tuple(samples), world.internode_messages())
+
+
+def evaluate_tables(
+    library: str,
+    collective: str,
+    nodes: int,
+    ppn: int,
+    msg_bytes: int,
+    params: Optional[MachineParams] = None,
+    thresholds=None,
+    force_interp: bool = False,
+) -> Dict[Tuple[int, str], List[int]]:
+    """Per-(rank, phase) traffic volumes of one cold iteration (the
+    static checker's 6-column layout, like fastpath's evaluate_tables)."""
+    world = _prepare(
+        library, collective, nodes, ppn, msg_bytes, params, thresholds,
+        1, force_interp,
+    )
+    world.C[nt.C_ACCT] = 1
+    world.run_iteration()
+    return world.volume_tables()
+
+
+_WARMED = False
+
+
+def warm_kernels() -> str:
+    """Compile (or build) the kernels once; returns the kernel mode.
+
+    Under numba the first replay call pays LLVM compilation; sweep
+    drivers call this once up front so per-point timings are steady.
+    Repeat calls are no-ops (``tests/sched/test_native.py`` pins that no
+    rebuild happens).
+    """
+    global _WARMED
+    mode = nt.get_kernels()["mode"]
+    if not _WARMED:
+        evaluate_point("pip-mcoll", "scatter", 2, 2, 64,
+                       warmup=0, measure=1)
+        _WARMED = True
+    return mode

@@ -26,7 +26,7 @@ e.g. by retrying later).
 Point specs are :meth:`~repro.bench.runner.points.Point` fields with
 ``params``/``thresholds`` as nested dataclass dicts or ``null``
 (:func:`point_to_doc` / :func:`point_from_doc`).  Results travel as the
-same documents the legacy JSON cache used
+same documents the pre-1.4.0 JSON cache used
 (:func:`~repro.bench.runner.cache.result_to_doc`); JSON floats serialize
 via ``repr`` and therefore round-trip float64 **exactly**, so a result
 crossing the socket stays bit-identical to one computed in-process —
@@ -40,6 +40,7 @@ import json
 from dataclasses import asdict
 from typing import Optional, Tuple, Union
 
+from repro.bench.microbench import ENGINES
 from repro.bench.runner.cache import result_from_doc, result_to_doc
 from repro.bench.runner.points import Point
 from repro.core.tuning import Thresholds
@@ -145,6 +146,13 @@ def point_from_doc(doc: dict) -> Point:
     try:
         params = doc.get("params")
         thresholds = doc.get("thresholds")
+        engine = str(doc.get("engine", "event"))
+        if engine not in ENGINES:
+            # validate at the daemon's front door (same message as the
+            # SweepRunner constructor) instead of deep inside a worker
+            raise ServeError(
+                "bad-request", f"unknown engine {engine!r}; known: {ENGINES}"
+            )
         return Point(
             library=str(doc["library"]),
             collective=str(doc["collective"]),
@@ -157,7 +165,7 @@ def point_from_doc(doc: dict) -> Point:
             thresholds=(
                 None if thresholds is None else Thresholds(**thresholds)
             ),
-            engine=str(doc.get("engine", "event")),
+            engine=engine,
         )
     except ServeError:
         raise

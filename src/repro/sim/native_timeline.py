@@ -1,0 +1,972 @@
+"""Nopython twin of the timeline replay loop for the native engine.
+
+This module holds the *kernel* of ``engine="native"``: a single replay
+function (plus small cost helpers) written against plain numpy arrays and
+scalars only — no dicts, no strings, no Python objects — so that it
+compiles under ``numba.njit`` unchanged.  :func:`build_kernels` takes a
+decorator (``numba.njit`` when numba imports, the identity function when
+it doesn't) and returns the compiled/interpreted kernel set; the same
+source therefore runs in three modes:
+
+* **jit** — numba available: LLVM-compiled machine code (the point of the
+  engine);
+* **interp** — numba absent or ``PIPMCOLL_NO_NATIVE=1``: the identical
+  functions run under CPython.  This is what the numba-free CI lane and
+  the bit-identity tests exercise, so the kernel *logic* is pinned even
+  where numba is not installed;
+* callers that want zero native involvement fall back to the DAG engine
+  (see :mod:`repro.sched.native` / :mod:`repro.bench.microbench`).
+
+Float-for-float identity argument
+---------------------------------
+
+The acceptance contract is that ``engine="native"`` produces bit-identical
+float64 samples to ``engine="dag"`` (and hence to the event loop).  That
+holds because:
+
+1. **Same arithmetic, same operation order.**  Every float produced here
+   is a transcription of the corresponding shared cost closure —
+   :meth:`repro.hw.nic.NodeNic.transfer`, :meth:`repro.hw.memory.
+   MemoryModel.copy_occupy` / ``reduce_occupy``, ``fault_cost``, and the
+   mechanism ``sender_occupy`` / ``match_fixed`` closures — operand for
+   operand, with the same ``max`` placements and the same precomputed
+   constants (``1.0 / proc_msg_rate``, ``1.0 / nic_msg_rate`` are divided
+   once, exactly like ``RateLimiter._interval``).  IEEE-754 double
+   operations are deterministic, so equal inputs in equal order give equal
+   bits.
+2. **No fastmath, no contraction.**  The kernels are compiled with
+   numba's defaults: ``fastmath=False``, which forbids reassociation,
+   and no FMA contraction of separate multiply/add expressions — each
+   written operation maps to one IEEE double operation, as in CPython.
+3. **Same event order.**  The heap here stores ``(time, seq)`` pairs with
+   exactly the tuple comparison ``heapq`` uses (``seq`` is unique, so the
+   ``fn``/``value`` fields of the Python tuples are never compared); any
+   correct binary heap pops a totally ordered set in the same order.  The
+   ready ring is drained fully before each heap pop, mirroring
+   :meth:`repro.sim.timeline.Timeline.run`, and every ``seq`` increment
+   of the fast path (one per ``heappush``/``tl.call``) has a counterpart
+   here, so all ties break identically.
+4. **Lane pool as argmin.**  The memory lane heap is replaced by
+   argmin-over-array: ``heappop`` returns the minimum *value*, and
+   replacing one minimal entry with the new end time evolves the same
+   multiset of lane-free times, so start/end values are bit-identical
+   (the same argument :class:`repro.hw.memory.BatchMemory` documents).
+
+``tests/sched/test_native.py`` pins the contract across the registry grid
+and randomized shapes.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "build_kernels",
+    "get_kernels",
+    "jit_available",
+    "kernel_mode",
+    "build_count",
+]
+
+# -- opcode values (must mirror repro.sched.fastpath's _OP_* order) --------
+(
+    OP_SEND_INTRA,
+    OP_SEND_INTER,
+    OP_RECV,
+    OP_WAIT,
+    OP_COPY,
+    OP_REDUCE,
+    OP_POST,
+    OP_LOOKUP,
+    OP_ADD,
+    OP_CWAIT,
+    OP_ALLOC,
+    OP_PHASE,
+    OP_COMPUTE,
+) = range(13)
+
+# -- continuation codes (heap/ready entries: which callback fires) ---------
+(
+    K_RUN,
+    K_SEND_INTRA,
+    K_SEND_INTER,
+    K_NEXT_WAIT,
+    K_RECV_WORK,
+    K_RECV_DONE,
+    K_POST,
+    K_LOOKUP,
+    K_LOOKUP_BIND,
+    K_ADD,
+    K_CWAIT,
+    K_DELIVER,
+    K_COMPLETE_SEND,
+) = range(13)
+
+# -- float parameter vector indices ----------------------------------------
+(
+    P_PROC_BW,
+    P_PROC_DMA_BW,
+    P_RATE_FLOOR,      # 1.0 / proc_msg_rate, divided once
+    P_NIC_BW,
+    P_NIC_INTERVAL,    # 1.0 / nic_msg_rate, divided once
+    P_FABRIC_BW,
+    P_WIRE_LAT,
+    P_SEND_OVH,
+    P_RECV_OVH,
+    P_PIP_POST,
+    P_PIP_FLAG,
+    P_COPY_LAT,
+    P_CORE_BW,
+    P_REDUCE_BW,
+    P_PAGE_FAULT,
+    P_SYSCALL,
+    P_SIZESYNC,
+    P_XP_EXPOSE,
+    P_XP_ATTACH,
+    P_XP_REATTACH,
+    P_SW_OVH,
+) = range(21)
+P_LEN = 21
+
+# -- int config vector indices ---------------------------------------------
+(
+    C_NODES,
+    C_PPN,
+    C_NTASKS,
+    C_HAS_FABRIC,
+    C_MECH_SMALL,
+    C_MECH_LARGE,
+    C_MECH_THRESH,
+    C_EAGER_THRESH,
+    C_PAGE_SIZE,
+    C_RTS_BYTES,
+    C_NQUEUES,
+    C_ACCT,
+) = range(12)
+C_LEN = 12
+
+# -- mechanism codes -------------------------------------------------------
+MECH_POSIX = 0       # eager double-copy: sender pays copy_occupy(nbytes)
+MECH_KERNEL = 1      # CMA/KNEM: syscall + cold faults at match
+MECH_XPMEM = 2       # expose/attach caches + faults
+MECH_PIP = 3         # size-sync handshake at match
+
+# -- scratch (SCR) columns per task ----------------------------------------
+(
+    S_PC,
+    S_DST,
+    S_NODE,
+    S_BID,
+    S_CNT,
+    S_QID,
+    S_REQ,
+    S_KEY,
+    S_VAL,
+    S_BIND,
+    S_WOFF,
+    S_WLEN,
+    S_WIDX,
+    S_PHASE,
+) = range(14)
+S_LEN = 14
+
+# -- kernel exit statuses --------------------------------------------------
+ST_OK = 0
+ST_DEADLOCK = 1      # programs blocked with both queues drained
+ST_LEFTOVER = 2      # match queues not drained at iteration end (bail)
+ST_OVERFLOW = 3      # heap/ready capacity exceeded (bail; cannot happen
+#                      for schedules within the lowered capacity bounds)
+
+#: times build_kernels actually ran (the warm-cache tests pin that repeat
+#: calls to get_kernels hit the cache instead of rebuilding)
+build_count = 0
+
+_ENV_NO_NATIVE = "PIPMCOLL_NO_NATIVE"
+
+
+def jit_available() -> bool:
+    """Whether the numba JIT can be used (installed and not disabled)."""
+    if os.environ.get(_ENV_NO_NATIVE, "") not in ("", "0"):
+        return False
+    try:  # pragma: no cover - exercised only where numba is installed
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def kernel_mode() -> str:
+    """``"jit"`` or ``"interp"`` — how :func:`get_kernels` will build."""
+    return "jit" if jit_available() else "interp"
+
+
+def build_kernels(jit):
+    """Build the kernel set under decorator ``jit`` (njit or identity).
+
+    Returns ``{"replay": fn}``.  Helpers are closure-bound so that under
+    numba each call site binds to the compiled Dispatcher.
+    """
+
+    @jit
+    def _lane_occupy(lane_free, node, tnow, nbytes, extra, bw, copy_lat):
+        # MemoryModel.copy_occupy/reduce_occupy, lane heap as argmin:
+        # heappop returns the minimum value; replacing one minimal entry
+        # with the new end time evolves the same multiset of lane times.
+        blocked = copy_lat + extra
+        if nbytes > 0:
+            service = nbytes / bw
+            row = lane_free[node]
+            j = 0
+            m = row[0]
+            for k in range(1, row.shape[0]):
+                if row[k] < m:
+                    m = row[k]
+                    j = k
+            start = m if m > tnow else tnow
+            end = start + service
+            row[j] = end
+            blocked += end - tnow
+        return blocked
+
+    @jit
+    def _fault_cost(P, C, warm, dst_rank, bid, nbytes):
+        # MemoryModel.fault_cost; warm[0] is the per-node _warmed set
+        # (dst_rank determines the node, so one global table suffices)
+        if nbytes == 0 or warm[0, dst_rank, bid] != 0:
+            return 0.0
+        warm[0, dst_rank, bid] = 1
+        pages = -(-nbytes // C[C_PAGE_SIZE])
+        return pages * P[P_PAGE_FAULT]
+
+    @jit
+    def _sender_occupy(P, C, warm, lane_free, node, src_rank, nbytes, bid,
+                       tnow):
+        # mechanism sender_occupy, dispatched on the hybrid pick
+        mech = (C[C_MECH_SMALL] if nbytes < C[C_MECH_THRESH]
+                else C[C_MECH_LARGE])
+        if mech == MECH_POSIX:
+            # copy-in to the shared slab
+            return _lane_occupy(lane_free, node, tnow, nbytes, 0.0,
+                                P[P_CORE_BW], P[P_COPY_LAT])
+        if mech == MECH_XPMEM:
+            extra = 0.0
+            if warm[1, src_rank, bid] == 0:  # expose cache
+                warm[1, src_rank, bid] = 1
+                extra = P[P_XP_EXPOSE]
+            return _lane_occupy(lane_free, node, tnow, 0, extra,
+                                P[P_CORE_BW], P[P_COPY_LAT])
+        # kernel-copy / pip: descriptor post, costs nothing at the sender
+        return 0.0
+
+    @jit
+    def _match_fixed(P, C, warm, dst_rank, nbytes, bid):
+        # mechanism match_fixed, dispatched on the hybrid pick
+        mech = (C[C_MECH_SMALL] if nbytes < C[C_MECH_THRESH]
+                else C[C_MECH_LARGE])
+        if mech == MECH_POSIX:
+            return 0.0
+        if mech == MECH_PIP:
+            return P[P_SIZESYNC]
+        if mech == MECH_KERNEL:
+            return P[P_SYSCALL] + _fault_cost(P, C, warm, dst_rank, bid,
+                                              nbytes)
+        # xpmem: attach once per (receiver, allocation), then reattach
+        if warm[2, dst_rank, bid] == 0:
+            warm[2, dst_rank, bid] = 1
+            return P[P_XP_ATTACH] + _fault_cost(P, C, warm, dst_rank, bid,
+                                                nbytes)
+        return P[P_XP_REATTACH]
+
+    @jit
+    def _nic_transfer(P, C, inj_free, nic_state, fabric_free, msgs_sent,
+                      tnow, src_node, src_local, dst_node, nbytes, dma):
+        # NodeNic.transfer, operand for operand.  nic_state columns:
+        # 0 tx_rate next slot, 1 rx_rate next slot, 2 tx_bw next free,
+        # 3 rx_bw next free.
+        msgs_sent[src_node] += 1
+        # 1. per-process injection
+        service = nbytes / (P[P_PROC_DMA_BW] if dma else P[P_PROC_BW])
+        rate_floor = P[P_RATE_FLOOR]
+        if service < rate_floor:
+            service = rate_floor
+        inj_start = inj_free[src_node, src_local]
+        if tnow > inj_start:
+            inj_start = tnow
+        inj_done = inj_start + service
+        inj_free[src_node, src_local] = inj_done
+        # 2. node transmit side: rate ceiling then bandwidth
+        tx_admit = nic_state[src_node, 0]
+        if inj_start > tx_admit:
+            tx_admit = inj_start
+        nic_state[src_node, 0] = tx_admit + P[P_NIC_INTERVAL]
+        wire_service = nbytes / P[P_NIC_BW]
+        tx_start = nic_state[src_node, 2]
+        if tx_admit > tx_start:
+            tx_start = tx_admit
+        tx_end = tx_start + wire_service
+        nic_state[src_node, 2] = tx_end
+        if inj_done > tx_end:
+            tx_end = inj_done
+        # 2b. oversubscribed core fabric (optional)
+        if C[C_HAS_FABRIC] != 0:
+            fab_start = fabric_free[0]
+            if tx_start > fab_start:
+                fab_start = tx_start
+            fab_end = fab_start + nbytes / P[P_FABRIC_BW]
+            fabric_free[0] = fab_end
+            if tx_end > fab_end:
+                fab_end = tx_end
+            head_start = fab_start
+            tail_end = fab_end
+        else:
+            head_start = tx_start
+            tail_end = tx_end
+        # 3+4. wire + receive side
+        head_arrival = head_start + P[P_WIRE_LAT]
+        rx_admit = nic_state[dst_node, 1]
+        if head_arrival > rx_admit:
+            rx_admit = head_arrival
+        nic_state[dst_node, 1] = rx_admit + P[P_NIC_INTERVAL]
+        rx_service = nbytes / P[P_NIC_BW]
+        rx_start = nic_state[dst_node, 3]
+        if rx_admit > rx_start:
+            rx_start = rx_admit
+        rx_end = rx_start + rx_service
+        nic_state[dst_node, 3] = rx_end
+        arrival = tail_end + P[P_WIRE_LAT]
+        if rx_end > arrival:
+            arrival = rx_end
+        return inj_done, arrival
+
+    @jit
+    def _hpush(ht, hs, hk, hta, hx, n, t, s, k, ta, x):
+        # heapq.heappush on parallel arrays, comparing (time, seq)
+        i = n
+        ht[i] = t
+        hs[i] = s
+        hk[i] = k
+        hta[i] = ta
+        hx[i] = x
+        while i > 0:
+            p = (i - 1) >> 1
+            if ht[p] > ht[i] or (ht[p] == ht[i] and hs[p] > hs[i]):
+                ht[p], ht[i] = ht[i], ht[p]
+                hs[p], hs[i] = hs[i], hs[p]
+                hk[p], hk[i] = hk[i], hk[p]
+                hta[p], hta[i] = hta[i], hta[p]
+                hx[p], hx[i] = hx[i], hx[p]
+                i = p
+            else:
+                break
+        return n + 1
+
+    @jit
+    def _hpop(ht, hs, hk, hta, hx, n):
+        # heapq.heappop: (time, seq) is a total order (seq unique), so any
+        # correct binary heap pops entries in the identical order
+        t = ht[0]
+        s = hs[0]
+        k = hk[0]
+        ta = hta[0]
+        x = hx[0]
+        n -= 1
+        if n > 0:
+            ht[0] = ht[n]
+            hs[0] = hs[n]
+            hk[0] = hk[n]
+            hta[0] = hta[n]
+            hx[0] = hx[n]
+            i = 0
+            while True:
+                left = 2 * i + 1
+                if left >= n:
+                    break
+                small = left
+                right = left + 1
+                if right < n and (
+                    ht[right] < ht[left]
+                    or (ht[right] == ht[left] and hs[right] < hs[left])
+                ):
+                    small = right
+                if ht[small] < ht[i] or (
+                    ht[small] == ht[i] and hs[small] < hs[i]
+                ):
+                    ht[small], ht[i] = ht[i], ht[small]
+                    hs[small], hs[i] = hs[i], hs[small]
+                    hk[small], hk[i] = hk[i], hk[small]
+                    hta[small], hta[i] = hta[i], hta[small]
+                    hx[small], hx[i] = hx[i], hx[small]
+                    i = small
+                else:
+                    break
+        return t, s, k, ta, x, n
+
+    @jit
+    def replay(
+        P, C, OPS, FCONST, WLISTS, OPSTART, TNODE, TLR,
+        OPQ, OPB, OPCID,
+        ENVB, ENVC, HANDLE, SCR,
+        inj_free, nic_state, fabric_free, msgs_sent, lane_free, warm,
+        btrig, bval, bw_off, bw_task, bw_tail,
+        cval, cw_off, cw_thr, cw_task, cw_act, cw_tail,
+        aq_off, aq_store, aq_head, aq_tail,
+        pq_off, pq_store, pq_head, pq_tail,
+        m_src, m_nbytes, m_bid, m_qid, m_flags, m_lr, m_sreq,
+        q_kind, q_done, q_val, q_wait,
+        ht, hs, hk, hta, hx,
+        r_kind, r_task, r_aux,
+        end_times, acct, acct_touch,
+        io_i, io_f,
+    ):
+        """One schedule iteration: FastWorld.run_schedule + Timeline.run.
+
+        Mutates the persistent world arrays in place; returns status via
+        ``io_i[3]`` and the elapsed time via ``io_f[1]``.
+        """
+        now = io_f[0]
+        seq = io_i[0]
+        buf_seq = io_i[1]
+        unexpected = io_i[2]
+        ntasks = C[C_NTASKS]
+        ppn = C[C_PPN]
+        acct_on = C[C_ACCT] != 0
+        start = now
+        body_start = start + P[P_SW_OVH]
+        live = ntasks
+        for i in range(ntasks):
+            end_times[i] = start
+            SCR[i, S_PC] = OPSTART[i]
+        nh = 0
+        msg_n = 0
+        req_n = 0
+        rhead = 0
+        rtail = 0
+        rcap = r_kind.shape[0]
+        hcap = ht.shape[0]
+        # run_schedule seeds each task's first slice at start + overhead,
+        # in rank order (one seq per push)
+        for i in range(ntasks):
+            seq += 1
+            nh = _hpush(ht, hs, hk, hta, hx, nh, body_start, seq, K_RUN,
+                        i, -1)
+        status = ST_OK
+
+        # Timeline.run: drain the ready ring fully before each heap pop
+        while True:
+            if nh + 4 >= hcap or rtail - rhead + 4 >= rcap:
+                status = ST_OVERFLOW
+                break
+            if rhead != rtail:
+                ri = rhead % rcap
+                kind = r_kind[ri]
+                task = r_task[ri]
+                aux = r_aux[ri]
+                rhead += 1
+            elif nh > 0:
+                t, s, kind, task, aux, nh = _hpop(ht, hs, hk, hta, hx, nh)
+                now = t
+            else:
+                break
+
+            do_nw = False
+            do_run = False
+
+            if kind == K_RUN:
+                do_run = True
+            elif kind == K_DELIVER or kind == K_SEND_INTRA:
+                if kind == K_SEND_INTRA:
+                    # _Task._send_intra: build the message, deliver it,
+                    # complete eagerly when the mechanism allows, resume
+                    cnt = SCR[task, S_CNT]
+                    req = SCR[task, S_REQ]
+                    mech = (C[C_MECH_SMALL] if cnt < C[C_MECH_THRESH]
+                            else C[C_MECH_LARGE])
+                    eager = mech == MECH_POSIX
+                    m = msg_n
+                    msg_n += 1
+                    m_src[m] = task
+                    m_nbytes[m] = cnt
+                    m_bid[m] = SCR[task, S_BID]
+                    m_qid[m] = SCR[task, S_QID]
+                    m_flags[m] = 1  # intranode
+                    m_lr[m] = TLR[task]
+                    m_sreq[m] = -1 if eager else req
+                    do_run = True
+                else:
+                    m = aux
+                    eager = False
+                    req = -1
+                # FastWorld._deliver
+                qq = m_qid[m]
+                if pq_tail[qq] > pq_head[qq]:
+                    r = pq_store[pq_off[qq] + pq_head[qq]]
+                    pq_head[qq] += 1
+                    wt = q_wait[r]
+                    if wt >= 0:
+                        q_wait[r] = -1
+                        ri2 = rtail % rcap
+                        r_kind[ri2] = K_RECV_WORK
+                        r_task[ri2] = wt
+                        r_aux[ri2] = m
+                        rtail += 1
+                    else:
+                        q_done[r] = 1
+                        q_val[r] = m
+                else:
+                    m_flags[m] = m_flags[m] | 4  # unexpected
+                    unexpected += 1
+                    aq_store[aq_off[qq] + aq_tail[qq]] = m
+                    aq_tail[qq] += 1
+                if eager:
+                    # FastWorld._complete_send
+                    wt = q_wait[req]
+                    if wt >= 0:
+                        q_wait[req] = -1
+                        ri2 = rtail % rcap
+                        r_kind[ri2] = K_NEXT_WAIT
+                        r_task[ri2] = wt
+                        r_aux[ri2] = -1
+                        rtail += 1
+                    else:
+                        q_done[req] = 1
+            elif kind == K_COMPLETE_SEND:
+                r = aux
+                wt = q_wait[r]
+                if wt >= 0:
+                    q_wait[r] = -1
+                    ri2 = rtail % rcap
+                    r_kind[ri2] = K_NEXT_WAIT
+                    r_task[ri2] = wt
+                    r_aux[ri2] = -1
+                    rtail += 1
+                else:
+                    q_done[r] = 1
+            elif kind == K_SEND_INTER:
+                # _Task._send_inter
+                cnt = SCR[task, S_CNT]
+                req = SCR[task, S_REQ]
+                dst_node = SCR[task, S_NODE]
+                src_node = TNODE[task]
+                lr = TLR[task]
+                if cnt <= C[C_EAGER_THRESH]:
+                    inj_done, arrival = _nic_transfer(
+                        P, C, inj_free, nic_state, fabric_free, msgs_sent,
+                        now, src_node, lr, dst_node, cnt, False,
+                    )
+                    m = msg_n
+                    msg_n += 1
+                    m_src[m] = task
+                    m_nbytes[m] = cnt
+                    m_bid[m] = SCR[task, S_BID]
+                    m_qid[m] = SCR[task, S_QID]
+                    m_flags[m] = 0
+                    m_lr[m] = lr
+                    m_sreq[m] = -1
+                    seq += 1
+                    nh = _hpush(ht, hs, hk, hta, hx, nh, arrival, seq,
+                                K_DELIVER, -1, m)
+                    seq += 1
+                    nh = _hpush(ht, hs, hk, hta, hx, nh, inj_done, seq,
+                                K_COMPLETE_SEND, -1, req)
+                else:
+                    inj_done, rts_arrival = _nic_transfer(
+                        P, C, inj_free, nic_state, fabric_free, msgs_sent,
+                        now, src_node, lr, dst_node, C[C_RTS_BYTES], False,
+                    )
+                    m = msg_n
+                    msg_n += 1
+                    m_src[m] = task
+                    m_nbytes[m] = cnt
+                    m_bid[m] = SCR[task, S_BID]
+                    m_qid[m] = SCR[task, S_QID]
+                    m_flags[m] = 2  # rendezvous
+                    m_lr[m] = lr
+                    m_sreq[m] = req
+                    seq += 1
+                    nh = _hpush(ht, hs, hk, hta, hx, nh, rts_arrival, seq,
+                                K_DELIVER, -1, m)
+                do_run = True
+            elif kind == K_NEXT_WAIT:
+                do_nw = True
+            elif kind == K_RECV_WORK:
+                # _Task._recv_work
+                m = aux
+                flags = m_flags[m]
+                node = TNODE[task]
+                if flags & 1:  # intranode: match_fixed then copy in
+                    fixed = _match_fixed(P, C, warm, task, m_nbytes[m],
+                                         m_bid[m])
+                    d = _lane_occupy(lane_free, node, now, m_nbytes[m],
+                                     fixed, P[P_CORE_BW], P[P_COPY_LAT])
+                elif flags & 2:  # rendezvous: CTS back, then DMA pull
+                    data_start = now + P[P_SEND_OVH] + P[P_WIRE_LAT]
+                    src_node = m_src[m] // ppn
+                    inj_done, arrival = _nic_transfer(
+                        P, C, inj_free, nic_state, fabric_free, msgs_sent,
+                        data_start, src_node, m_lr[m], node, m_nbytes[m],
+                        True,
+                    )
+                    seq += 1
+                    nh = _hpush(ht, hs, hk, hta, hx, nh, inj_done, seq,
+                                K_COMPLETE_SEND, -1, m_sreq[m])
+                    d = arrival - now + P[P_RECV_OVH]
+                elif flags & 4:  # unexpected: copy out of the bounce slot
+                    d = _lane_occupy(lane_free, node, now, m_nbytes[m],
+                                     P[P_RECV_OVH], P[P_CORE_BW],
+                                     P[P_COPY_LAT])
+                else:
+                    d = P[P_RECV_OVH]
+                seq += 1
+                nh = _hpush(ht, hs, hk, hta, hx, nh, now + d, seq,
+                            K_RECV_DONE, task, m)
+            elif kind == K_RECV_DONE:
+                m = aux
+                if m_flags[m] & 1:
+                    sr = m_sreq[m]
+                    if sr >= 0:
+                        wt = q_wait[sr]
+                        if wt >= 0:
+                            q_wait[sr] = -1
+                            ri2 = rtail % rcap
+                            r_kind[ri2] = K_NEXT_WAIT
+                            r_task[ri2] = wt
+                            r_aux[ri2] = -1
+                            rtail += 1
+                        else:
+                            q_done[sr] = 1
+                do_nw = True
+            elif kind == K_POST:
+                # _Task._post: trigger the board event, drain its waiters
+                b = SCR[task, S_KEY]
+                v = SCR[task, S_VAL]
+                btrig[b] = 1
+                bval[b] = v
+                base = bw_off[b]
+                for j in range(base, base + bw_tail[b]):
+                    ri2 = rtail % rcap
+                    r_kind[ri2] = K_LOOKUP
+                    r_task[ri2] = bw_task[j]
+                    r_aux[ri2] = v
+                    rtail += 1
+                bw_tail[b] = 0
+                do_run = True
+            elif kind == K_LOOKUP:
+                seq += 1
+                nh = _hpush(ht, hs, hk, hta, hx, nh, now + P[P_PIP_FLAG],
+                            seq, K_LOOKUP_BIND, task, aux)
+            elif kind == K_LOOKUP_BIND:
+                bind = SCR[task, S_BIND]
+                if bind >= 0:
+                    ENVB[task, bind] = aux >> 32
+                    ENVC[task, bind] = aux & 0xFFFFFFFF
+                do_run = True
+            elif kind == K_ADD:
+                # _Task._add: bump the counter, trigger satisfied waiters
+                # in registration order
+                c = SCR[task, S_KEY]
+                cval[c] += SCR[task, S_VAL]
+                v = cval[c]
+                base = cw_off[c]
+                for j in range(base, base + cw_tail[c]):
+                    if cw_act[j] != 0 and v >= cw_thr[j]:
+                        cw_act[j] = 0
+                        ri2 = rtail % rcap
+                        r_kind[ri2] = K_CWAIT
+                        r_task[ri2] = cw_task[j]
+                        r_aux[ri2] = v
+                        rtail += 1
+                do_run = True
+            elif kind == K_CWAIT:
+                seq += 1
+                nh = _hpush(ht, hs, hk, hta, hx, nh, now + P[P_PIP_FLAG],
+                            seq, K_RUN, task, -1)
+
+            # _Task._next_wait
+            if do_nw:
+                i2 = SCR[task, S_WIDX] + 1
+                if i2 < SCR[task, S_WLEN]:
+                    SCR[task, S_WIDX] = i2
+                    h = WLISTS[SCR[task, S_WOFF] + i2]
+                    r = HANDLE[task, h]
+                    if q_done[r] != 0:
+                        fk = K_NEXT_WAIT if q_kind[r] == 0 else K_RECV_WORK
+                        ri2 = rtail % rcap
+                        r_kind[ri2] = fk
+                        r_task[ri2] = task
+                        r_aux[ri2] = q_val[r]
+                        rtail += 1
+                    else:
+                        q_wait[r] = task
+                else:
+                    do_run = True
+
+            # _Task._run: interpret opcodes until the next suspension
+            if do_run:
+                pc = SCR[task, S_PC]
+                pe = OPSTART[task + 1]
+                node = TNODE[task]
+                finished = True
+                while pc < pe:
+                    gi = pc
+                    code = OPS[gi, 0]
+                    pc += 1
+                    if code == OP_LOOKUP:
+                        SCR[task, S_PC] = pc
+                        SCR[task, S_BIND] = OPS[gi, 1]
+                        b = OPB[gi]
+                        if btrig[b] != 0:
+                            ri2 = rtail % rcap
+                            r_kind[ri2] = K_LOOKUP
+                            r_task[ri2] = task
+                            r_aux[ri2] = bval[b]
+                            rtail += 1
+                        else:
+                            j = bw_off[b] + bw_tail[b]
+                            bw_task[j] = task
+                            bw_tail[b] += 1
+                        finished = False
+                        break
+                    if code == OP_SEND_INTRA:
+                        dst = OPS[gi, 1]
+                        nm = OPS[gi, 2]
+                        off = OPS[gi, 3]
+                        cnt = OPS[gi, 4]
+                        hd = OPS[gi, 5]
+                        bid = ENVB[task, nm]
+                        if cnt < 0:
+                            cnt = ENVC[task, nm] - off
+                        r = req_n
+                        req_n += 1
+                        q_kind[r] = 0
+                        q_done[r] = 0
+                        q_val[r] = -1
+                        q_wait[r] = -1
+                        HANDLE[task, hd] = r
+                        if acct_on:
+                            ph = SCR[task, S_PHASE]
+                            acct[task, ph, 2] += 1
+                            acct[task, ph, 3] += cnt
+                            acct_touch[task, ph] = 1
+                        SCR[task, S_PC] = pc
+                        SCR[task, S_DST] = dst
+                        SCR[task, S_BID] = bid
+                        SCR[task, S_CNT] = cnt
+                        SCR[task, S_QID] = OPQ[gi]
+                        SCR[task, S_REQ] = r
+                        d = _sender_occupy(P, C, warm, lane_free, node,
+                                           task, cnt, bid, now)
+                        seq += 1
+                        nh = _hpush(ht, hs, hk, hta, hx, nh, now + d, seq,
+                                    K_SEND_INTRA, task, -1)
+                        finished = False
+                        break
+                    if code == OP_SEND_INTER:
+                        dst = OPS[gi, 1]
+                        dst_node = OPS[gi, 2]
+                        nm = OPS[gi, 3]
+                        off = OPS[gi, 4]
+                        cnt = OPS[gi, 5]
+                        hd = OPS[gi, 6]
+                        bid = ENVB[task, nm]
+                        if cnt < 0:
+                            cnt = ENVC[task, nm] - off
+                        r = req_n
+                        req_n += 1
+                        q_kind[r] = 0
+                        q_done[r] = 0
+                        q_val[r] = -1
+                        q_wait[r] = -1
+                        HANDLE[task, hd] = r
+                        if acct_on:
+                            ph = SCR[task, S_PHASE]
+                            acct[task, ph, 0] += 1
+                            acct[task, ph, 1] += cnt
+                            acct_touch[task, ph] = 1
+                        SCR[task, S_PC] = pc
+                        SCR[task, S_DST] = dst
+                        SCR[task, S_NODE] = dst_node
+                        SCR[task, S_BID] = bid
+                        SCR[task, S_CNT] = cnt
+                        SCR[task, S_QID] = OPQ[gi]
+                        SCR[task, S_REQ] = r
+                        seq += 1
+                        nh = _hpush(ht, hs, hk, hta, hx, nh,
+                                    now + P[P_SEND_OVH], seq,
+                                    K_SEND_INTER, task, -1)
+                        finished = False
+                        break
+                    if code == OP_RECV:
+                        hd = OPS[gi, 1]
+                        qq = OPQ[gi]
+                        r = req_n
+                        req_n += 1
+                        q_kind[r] = 1
+                        q_done[r] = 0
+                        q_val[r] = -1
+                        q_wait[r] = -1
+                        HANDLE[task, hd] = r
+                        if aq_tail[qq] > aq_head[qq]:
+                            m = aq_store[aq_off[qq] + aq_head[qq]]
+                            aq_head[qq] += 1
+                            q_done[r] = 1
+                            q_val[r] = m
+                        else:
+                            pq_store[pq_off[qq] + pq_tail[qq]] = r
+                            pq_tail[qq] += 1
+                        continue
+                    if code == OP_WAIT:
+                        woff = OPS[gi, 1]
+                        SCR[task, S_PC] = pc
+                        SCR[task, S_WOFF] = woff
+                        SCR[task, S_WLEN] = OPS[gi, 2]
+                        SCR[task, S_WIDX] = 0
+                        r = HANDLE[task, WLISTS[woff]]
+                        fk = K_NEXT_WAIT if q_kind[r] == 0 else K_RECV_WORK
+                        if q_done[r] != 0:
+                            ri2 = rtail % rcap
+                            r_kind[ri2] = fk
+                            r_task[ri2] = task
+                            r_aux[ri2] = q_val[r]
+                            rtail += 1
+                        else:
+                            q_wait[r] = task
+                        finished = False
+                        break
+                    if code == OP_COPY or code == OP_REDUCE:
+                        nm = OPS[gi, 1]
+                        off = OPS[gi, 2]
+                        cnt = OPS[gi, 3]
+                        if cnt < 0:
+                            cnt = ENVC[task, nm] - off
+                        if acct_on:
+                            ph = SCR[task, S_PHASE]
+                            col = 4 if code == OP_COPY else 5
+                            acct[task, ph, col] += cnt
+                            acct_touch[task, ph] = 1
+                        SCR[task, S_PC] = pc
+                        bw = (P[P_CORE_BW] if code == OP_COPY
+                              else P[P_REDUCE_BW])
+                        d = _lane_occupy(lane_free, node, now, cnt, 0.0,
+                                         bw, P[P_COPY_LAT])
+                        seq += 1
+                        nh = _hpush(ht, hs, hk, hta, hx, nh, now + d, seq,
+                                    K_RUN, task, -1)
+                        finished = False
+                        break
+                    if code == OP_POST:
+                        nm = OPS[gi, 1]
+                        off = OPS[gi, 2]
+                        cnt = OPS[gi, 3]
+                        bid = ENVB[task, nm]
+                        if cnt < 0:
+                            cnt = ENVC[task, nm] - off
+                        SCR[task, S_PC] = pc
+                        SCR[task, S_KEY] = OPB[gi]
+                        SCR[task, S_VAL] = (bid << 32) | cnt
+                        seq += 1
+                        nh = _hpush(ht, hs, hk, hta, hx, nh,
+                                    now + P[P_PIP_POST], seq, K_POST,
+                                    task, -1)
+                        finished = False
+                        break
+                    if code == OP_ADD:
+                        SCR[task, S_PC] = pc
+                        SCR[task, S_KEY] = OPCID[gi]
+                        SCR[task, S_VAL] = OPS[gi, 1]
+                        seq += 1
+                        nh = _hpush(ht, hs, hk, hta, hx, nh,
+                                    now + P[P_PIP_FLAG], seq, K_ADD,
+                                    task, -1)
+                        finished = False
+                        break
+                    if code == OP_CWAIT:
+                        th = OPS[gi, 1]
+                        c = OPCID[gi]
+                        SCR[task, S_PC] = pc
+                        if cval[c] >= th:
+                            seq += 1
+                            nh = _hpush(ht, hs, hk, hta, hx, nh,
+                                        now + P[P_PIP_FLAG], seq, K_RUN,
+                                        task, -1)
+                        else:
+                            j = cw_off[c] + cw_tail[c]
+                            cw_thr[j] = th
+                            cw_task[j] = task
+                            cw_act[j] = 1
+                            cw_tail[c] += 1
+                        finished = False
+                        break
+                    if code == OP_ALLOC:
+                        buf_seq += 1
+                        ENVB[task, OPS[gi, 1]] = buf_seq
+                        ENVC[task, OPS[gi, 1]] = OPS[gi, 2]
+                        continue
+                    if code == OP_PHASE:
+                        SCR[task, S_PHASE] = OPS[gi, 1]
+                        continue
+                    # OP_COMPUTE
+                    SCR[task, S_PC] = pc
+                    seq += 1
+                    nh = _hpush(ht, hs, hk, hta, hx, nh,
+                                now + FCONST[OPS[gi, 1]], seq, K_RUN,
+                                task, -1)
+                    finished = False
+                    break
+                if finished:
+                    end_times[task] = now
+                    live -= 1
+
+        if status == ST_OK and live > 0:
+            status = ST_DEADLOCK
+        if status == ST_OK:
+            for qq in range(C[C_NQUEUES]):
+                if aq_tail[qq] != aq_head[qq] or pq_tail[qq] != pq_head[qq]:
+                    status = ST_LEFTOVER
+                    break
+        elapsed = 0.0
+        if status == ST_OK:
+            mx = end_times[0]
+            for i in range(1, ntasks):
+                if end_times[i] > mx:
+                    mx = end_times[i]
+            elapsed = mx - start
+        io_i[0] = seq
+        io_i[1] = buf_seq
+        io_i[2] = unexpected
+        io_i[3] = status
+        io_i[4] = live
+        io_f[0] = now
+        io_f[1] = elapsed
+        return status
+
+    return {"replay": replay}
+
+
+_KERNEL_CACHE: dict = {}
+
+
+def get_kernels(force_interp: bool = False):
+    """Kernel set for the current mode, built once and cached.
+
+    ``force_interp=True`` returns the pure-Python (undecorated) build even
+    when numba is importable — the bit-identity tests use it so the exact
+    kernel logic is exercised on numba-free installs too.
+    """
+    global build_count
+    mode = "interp" if force_interp else kernel_mode()
+    cached = _KERNEL_CACHE.get(mode)
+    if cached is not None:
+        return cached
+    if mode == "jit":  # pragma: no cover - needs numba installed
+        from numba import njit
+
+        try:
+            kernels = build_kernels(njit(cache=True))
+        except Exception:
+            kernels = build_kernels(njit)
+    else:
+        kernels = build_kernels(lambda fn: fn)
+    kernels = dict(kernels, mode=mode)
+    _KERNEL_CACHE[mode] = kernels
+    build_count += 1
+    return kernels

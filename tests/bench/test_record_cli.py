@@ -23,7 +23,7 @@ def test_cache_stats_reports_store_shape(capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "[cache:" in out and "point /" in out and "column)" in out
-    assert "legacy" in out and "flushes" in out
+    assert "stores in" in out and "flushes" in out
     assert "[store:" in out and "shards on disk" in out
     assert "index" in out and "entries]" in out
 

@@ -9,24 +9,25 @@ The store's three load-bearing promises (see
   never crashed on, and an interrupted write publishes nothing;
 * **bit-identical** — everything that goes in comes back out exactly,
   including through the legacy-JSON migration path.
+
+The production read fallback for pre-1.4.0 JSON trees was removed after
+its scheduled one-release window; these tests fabricate the old layout
+locally to pin that ``migrate`` still converts it and that lookups no
+longer consult it.
 """
 
 import json
 import multiprocessing
 
-import pytest
-
 from repro.bench.microbench import MicrobenchResult
 from repro.bench.runner import Point, ResultCache
 from repro.bench.runner.cache import (
     CACHE_EPOCH,
-    LEGACY_EPOCHS,
     cache_key,
     column_key,
     main as cache_main,
     migrate,
-    write_legacy_json_column,
-    write_legacy_json_point,
+    result_to_doc,
 )
 from repro.bench.runner.pool import run_sweep_column
 from repro.bench.runner.store import ShardStore
@@ -35,6 +36,30 @@ AXIS = (64, 1024, 16384, 65536)
 POINTS = [
     Point("PiP-MColl", "allgather", 2, 2, s, engine="batch") for s in AXIS
 ]
+
+#: the epoch pre-1.4.0 caches were keyed under
+LEGACY_EPOCH = "1.3.0"
+
+
+def _write_json_point(root, point, result, epoch=LEGACY_EPOCH):
+    """One pre-1.4.0 per-point JSON file, at its documented path."""
+    key = cache_key(point, epoch)
+    path = root / key[:2] / f"{key}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"version": epoch, **result_to_doc(result)}))
+    return path
+
+
+def _write_json_column(root, points, results, epoch=LEGACY_EPOCH):
+    """One pre-1.4.0 column JSON document, at its documented path."""
+    key = column_key(points[0], epoch)
+    path = root / "columns" / key[:2] / f"{key}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entries = {
+        str(p.msg_bytes): result_to_doc(r) for p, r in zip(points, results)
+    }
+    path.write_text(json.dumps({"version": epoch, "entries": entries}))
+    return path
 
 
 def _row(msg_bytes: int, time: float = 1.0) -> MicrobenchResult:
@@ -265,44 +290,52 @@ def test_ragged_sample_counts_pad_and_unpad_exactly(tmp_path):
 def test_migrate_point_and_column_json_round_trip_bit_identical(tmp_path):
     results = run_sweep_column(POINTS)
     # a legacy tree holding one per-point file and one column document
-    write_legacy_json_point(tmp_path, POINTS[0], results[0])
-    write_legacy_json_column(tmp_path, POINTS[1:], results[1:])
+    _write_json_point(tmp_path, POINTS[0], results[0])
+    _write_json_column(tmp_path, POINTS[1:], results[1:])
     counts = migrate(tmp_path)
     assert counts["point_files"] == 1
     assert counts["column_files"] == 1
     assert counts["entries"] == len(POINTS)
-    # migrated entries hit bit-identically through the normal cache API
-    cache = ResultCache(tmp_path)
-    assert cache.get_many(POINTS) == results
-    assert cache.legacy_hits == len(POINTS)
+    # migrated rows land in legacy shards bit-identically, keyed by the
+    # JSON filename (the legacy key)
+    legacy = ShardStore(tmp_path / "legacy")
+    pt_key = cache_key(POINTS[0], LEGACY_EPOCH)
+    col_key = column_key(POINTS[0], LEGACY_EPOCH)
+    assert legacy.group(pt_key)[POINTS[0].msg_bytes] == results[0]
+    col = legacy.group(col_key)
+    for p, r in zip(POINTS[1:], results[1:]):
+        got = col[p.msg_bytes]
+        assert got == r
+        assert got.samples == r.samples
 
 
 def test_migrate_is_idempotent(tmp_path):
     results = run_sweep_column(POINTS)
-    write_legacy_json_column(tmp_path, POINTS, results)
+    _write_json_column(tmp_path, POINTS, results)
     first = migrate(tmp_path)
     again = migrate(tmp_path)
     assert first["entries"] == len(POINTS)
     assert again["entries"] == 0
     assert again["skipped_entries"] == len(POINTS)
-    assert ResultCache(tmp_path).get_many(POINTS) == results
+    legacy = ShardStore(tmp_path / "legacy")
+    assert legacy.entry_count() == len(POINTS)
 
 
-def test_migrate_purge_json_keeps_hitting_from_shards(tmp_path):
+def test_migrate_purge_json_removes_ingested_files(tmp_path):
     results = run_sweep_column(POINTS)
-    write_legacy_json_column(tmp_path, POINTS, results)
-    write_legacy_json_point(tmp_path, POINTS[0], results[0])
+    _write_json_column(tmp_path, POINTS, results)
+    _write_json_point(tmp_path, POINTS[0], results[0])
     counts = migrate(tmp_path, purge_json=True)
     assert counts["purged_files"] == 2
     assert not list(tmp_path.glob("columns/*/*.json"))
     assert not [
         p for p in tmp_path.glob("*/*.json") if p.parent.name != "legacy"
     ]
-    assert ResultCache(tmp_path).get_many(POINTS) == results
+    assert ShardStore(tmp_path / "legacy").entry_count() == len(POINTS) + 1
 
 
 def test_migrate_skips_corrupt_files(tmp_path):
-    path = write_legacy_json_point(
+    path = _write_json_point(
         tmp_path, POINTS[0], run_sweep_column(POINTS[:1])[0]
     )
     bad = path.parent / ("0" * 64 + ".json")
@@ -323,29 +356,31 @@ def test_migrate_ignores_shard_and_legacy_directories(tmp_path):
     }
 
 
-def test_unmigrated_legacy_json_still_hits_read_only(tmp_path):
-    """The one-release fallback: a raw pre-1.4.0 tree hits without any
-    migration, and the hit writes nothing back."""
+def test_legacy_json_and_migrated_shards_no_longer_hit(tmp_path):
+    """The scheduled post-1.4.0 removal: neither a raw pre-1.4.0 JSON
+    tree nor its migrated legacy shards are consulted by lookups."""
     results = run_sweep_column(POINTS)
-    write_legacy_json_column(tmp_path, POINTS[:3], results[:3])
-    write_legacy_json_point(tmp_path, POINTS[3], results[3])
+    _write_json_column(tmp_path, POINTS[:3], results[:3])
+    _write_json_point(tmp_path, POINTS[3], results[3])
     cache = ResultCache(tmp_path)
-    assert cache.get_many(POINTS) == results
-    assert cache.legacy_hits == len(POINTS)
-    assert cache.bytes_read > 0
-    assert cache.store.shard_count() == 0  # read-only: no write-through
+    assert cache.get_many(POINTS) == [None] * len(POINTS)
+    assert cache.misses == len(POINTS)
+    migrate(tmp_path)
+    fresh = ResultCache(tmp_path)
+    assert fresh.get_many(POINTS) == [None] * len(POINTS)
+    assert "legacy_hits" not in fresh.stats()
 
 
 def test_legacy_epoch_never_aliases_current_epoch():
     point = POINTS[0]
-    assert cache_key(point) != cache_key(point, LEGACY_EPOCHS[0])
-    assert column_key(point) != column_key(point, LEGACY_EPOCHS[0])
-    assert CACHE_EPOCH not in LEGACY_EPOCHS
+    assert cache_key(point) != cache_key(point, LEGACY_EPOCH)
+    assert column_key(point) != column_key(point, LEGACY_EPOCH)
+    assert CACHE_EPOCH != LEGACY_EPOCH
 
 
 def test_migrate_cli_prints_counts(tmp_path, capsys):
     results = run_sweep_column(POINTS)
-    write_legacy_json_column(tmp_path, POINTS, results)
+    _write_json_column(tmp_path, POINTS, results)
     rc = cache_main(["migrate", "--root", str(tmp_path)])
     out = capsys.readouterr().out
     assert rc == 0
@@ -355,26 +390,3 @@ def test_migrate_cli_prints_counts(tmp_path, capsys):
     out = capsys.readouterr().out
     assert rc == 0
     assert "legacy entries" in out
-
-
-def test_write_legacy_json_column_rejects_mixed_columns(tmp_path):
-    mixed = [POINTS[0], Point("PiP-MPICH", "allgather", 2, 2, 64)]
-    with pytest.raises(ValueError, match="columns"):
-        write_legacy_json_column(
-            tmp_path, mixed, run_sweep_column(POINTS[:1]) * 2
-        )
-
-
-def test_legacy_writers_emit_the_documented_layout(tmp_path):
-    """The fallback readers and the migration tool both key off this
-    exact layout; pin it so fixtures cannot drift."""
-    results = run_sweep_column(POINTS)
-    ppath = write_legacy_json_point(tmp_path, POINTS[0], results[0])
-    cpath = write_legacy_json_column(tmp_path, POINTS, results)
-    key = cache_key(POINTS[0], LEGACY_EPOCHS[0])
-    assert ppath == tmp_path / key[:2] / f"{key}.json"
-    ckey = column_key(POINTS[0], LEGACY_EPOCHS[0])
-    assert cpath == tmp_path / "columns" / ckey[:2] / f"{ckey}.json"
-    doc = json.loads(cpath.read_text())
-    assert doc["version"] == LEGACY_EPOCHS[0]
-    assert set(doc["entries"]) == {str(s) for s in AXIS}

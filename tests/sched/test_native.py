@@ -1,0 +1,207 @@
+"""The native engine's contract: bit-identical to the DAG fast path.
+
+``engine="native"`` lowers the fastpath opcode programs to arrays and
+replays them in the (conditionally numba-JIT) kernel of
+:mod:`repro.sim.native_timeline`.  Its acceptance contract is the same
+one the DAG engine signed against the event loop: *bit-identical*
+samples and message counts for every planner-backed pair, across the
+registry grid and randomized shapes.  ``force_interp=True`` runs the
+kernel un-jitted, so the exact kernel logic is pinned on numba-free
+installs too (the CI ``native-engine`` job runs this same suite with
+numba installed, where ``get_kernels`` JIT-compiles the identical
+source).
+"""
+
+import builtins
+import random
+
+import pytest
+
+from repro.bench.microbench import resolve_engine, run_point
+from repro.sched import native
+from repro.sched.check import check_planned
+from repro.sched.fastpath import evaluate_point as dag_evaluate_point
+from repro.sched.native import (
+    NativeBailout,
+    evaluate_point,
+    evaluate_tables,
+    native_supported,
+)
+from repro.sched.registry import plan_for, registry_combinations
+from repro.sim import native_timeline as nt
+
+SHAPES = ((2, 2), (4, 3))
+SIZES = (512, 32768, 131072)
+
+
+def _assert_point_identical(lib, coll, nodes, ppn, nbytes, **kw):
+    dag = dag_evaluate_point(lib, coll, nodes, ppn, nbytes, **kw)
+    nat = evaluate_point(lib, coll, nodes, ppn, nbytes,
+                         force_interp=True, **kw)
+    label = f"{lib}/{coll} {nodes}x{ppn} {nbytes}B"
+    assert nat.samples == dag.samples, label
+    assert nat.internode_messages == dag.internode_messages, label
+
+
+# -- the acceptance grid: every registry pair x shapes x sizes -------------
+
+
+@pytest.mark.parametrize("lib,coll", registry_combinations())
+def test_native_identical_to_dag_on_registry_grid(lib, coll):
+    for nodes, ppn in SHAPES:
+        for nbytes in SIZES:
+            _assert_point_identical(lib, coll, nodes, ppn, nbytes)
+
+
+def test_native_identical_on_randomized_shapes():
+    """Fixed-seed fuzz over shapes, sizes, and iteration protocols —
+    exercises rendezvous, eager, and flat-baseline paths alike."""
+    rng = random.Random(0)
+    combos = registry_combinations()
+    for _ in range(12):
+        lib, coll = rng.choice(combos)
+        nodes = rng.randint(2, 5)
+        ppn = rng.randint(1, 4)
+        nbytes = rng.choice((16, 1024, 4096, 65536, 262144))
+        warmup = rng.randint(0, 2)
+        _assert_point_identical(
+            lib, coll, nodes, ppn, nbytes, warmup=warmup, measure=3
+        )
+
+
+def test_native_through_run_point_matches_dag():
+    nat = run_point("PiP-MColl", "allreduce", 2, 2, 4096, engine="native")
+    dag = run_point("PiP-MColl", "allreduce", 2, 2, 4096, engine="dag")
+    assert nat == dag
+
+
+def test_native_honours_threshold_overrides():
+    from repro.core.tuning import Thresholds
+
+    kw = dict(thresholds=Thresholds.always_large())
+    _assert_point_identical("pip-mcoll", "allreduce", 2, 2, 512, **kw)
+
+
+# -- traffic volumes vs the static checker ---------------------------------
+
+
+@pytest.mark.parametrize("lib,coll", registry_combinations())
+def test_volume_tables_match_static_checker(lib, coll):
+    nodes, ppn, nbytes = 4, 3, 4096
+    tables = evaluate_tables(lib, coll, nodes, ppn, nbytes,
+                             force_interp=True)
+    planned = plan_for(lib, coll, nodes, ppn, nbytes)
+    report = check_planned(planned, ppn)
+    assert tables == report.per_rank
+
+
+# -- fallback: numba absent or disabled ------------------------------------
+
+
+def _block_numba(monkeypatch):
+    monkeypatch.delenv("PIPMCOLL_NO_NATIVE", raising=False)
+    real_import = builtins.__import__
+
+    def blocked(name, *args, **kwargs):
+        if name == "numba" or name.startswith("numba."):
+            raise ImportError("numba blocked for this test")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", blocked)
+
+
+def test_run_point_falls_back_to_dag_without_numba(monkeypatch):
+    _block_numba(monkeypatch)
+    assert not native.native_available()
+
+    def boom(*args, **kwargs):  # the native evaluator must not be touched
+        raise AssertionError("native evaluator called despite numba absent")
+
+    monkeypatch.setattr(native, "evaluate_point", boom)
+    result = run_point("PiP-MColl", "scatter", 2, 2, 512, engine="native")
+    reference = run_point("PiP-MColl", "scatter", 2, 2, 512, engine="dag")
+    assert result == reference
+
+
+def test_escape_hatch_disables_native(monkeypatch):
+    monkeypatch.setenv("PIPMCOLL_NO_NATIVE", "1")
+    assert not native.native_available()
+    assert nt.kernel_mode() == "interp"
+
+
+def test_auto_prefers_native_when_jit_available(monkeypatch):
+    monkeypatch.setattr(nt, "jit_available", lambda: True)
+    assert resolve_engine("auto", "PiP-MColl", "allreduce") == "native"
+    # non-planner-backed pairs still run as generators
+    assert resolve_engine("auto", "MVAPICH2", "allreduce") == "event"
+    monkeypatch.setattr(nt, "jit_available", lambda: False)
+    assert resolve_engine("auto", "PiP-MColl", "allreduce") == "dag"
+
+
+def test_native_bailout_falls_back_to_dag(monkeypatch):
+    monkeypatch.setattr(nt, "jit_available", lambda: True)
+
+    def bail(*args, **kwargs):
+        raise NativeBailout("synthetic bail")
+
+    monkeypatch.setattr(native, "evaluate_point", bail)
+    result = run_point("PiP-MColl", "scatter", 2, 2, 512, engine="native")
+    reference = run_point("PiP-MColl", "scatter", 2, 2, 512, engine="dag")
+    assert result == reference
+
+
+# -- guard rails -----------------------------------------------------------
+
+
+def test_native_rejects_unsupported_pairs():
+    assert not native_supported("PiP-MPICH", "allreduce")
+    with pytest.raises(ValueError, match="planner-backed"):
+        evaluate_point("PiP-MPICH", "scatter", 2, 2, 512)
+
+
+def test_native_rejects_tracing():
+    from repro.sim.trace import Tracer
+
+    with pytest.raises(ValueError, match="trace"):
+        run_point("PiP-MColl", "allreduce", 2, 2, 512, engine="native",
+                  tracer=Tracer())
+
+
+def test_native_requires_measured_iteration():
+    with pytest.raises(ValueError, match="measured"):
+        evaluate_point("PiP-MColl", "allreduce", 2, 2, 512, measure=0)
+
+
+# -- warmup cache: kernels build once, never rebuild -----------------------
+
+
+def test_kernel_cache_returns_same_object():
+    first = nt.get_kernels(force_interp=True)
+    assert nt.get_kernels(force_interp=True) is first
+    assert first["mode"] == "interp"
+
+
+def test_repeat_evaluations_do_not_rebuild_kernels():
+    evaluate_point("pip-mcoll", "scatter", 2, 2, 64, force_interp=True)
+    before = nt.build_count
+    for _ in range(3):
+        evaluate_point("pip-mcoll", "scatter", 2, 2, 64, force_interp=True)
+        evaluate_point("pip-mcoll", "allreduce", 2, 3, 2048,
+                       force_interp=True)
+    assert nt.build_count == before
+
+
+def test_warm_kernels_is_idempotent_and_no_recompile():
+    mode = native.warm_kernels()
+    assert mode in ("jit", "interp")
+    kernels = nt.get_kernels()
+    before = nt.build_count
+    if mode == "jit":  # pragma: no cover - needs numba installed
+        sigs = len(kernels["replay"].signatures)
+    assert native.warm_kernels() == mode
+    assert nt.build_count == before
+    assert nt.get_kernels() is kernels
+    if mode == "jit":  # pragma: no cover - needs numba installed
+        # warm again on the same grid point: no new specialization
+        evaluate_point("pip-mcoll", "scatter", 2, 2, 64)
+        assert len(kernels["replay"].signatures) == sigs

@@ -62,6 +62,21 @@ def test_malformed_point_spec_raises_bad_request():
     assert err.value.code == "bad-request"
 
 
+def test_unknown_engine_rejected_at_the_front_door():
+    """Engine names are validated once, at the daemon entry, with the
+    same message the SweepRunner constructor uses — a bad name must not
+    surface as an ``internal`` error from deep inside a worker."""
+    doc = {
+        "library": "PiP-MColl", "collective": "allreduce",
+        "nodes": 2, "ppn": 2, "msg_bytes": 64, "engine": "fast",
+    }
+    with pytest.raises(ServeError) as err:
+        point_from_doc(doc)
+    assert err.value.code == "bad-request"
+    assert "unknown engine 'fast'" in err.value.message
+    assert "known:" in err.value.message
+
+
 def test_result_doc_round_trip_is_bit_identical():
     # JSON floats serialize via repr, so float64 round-trips exactly —
     # the property the daemon's bit-identity contract rests on
