@@ -37,6 +37,16 @@ Usage::
     python benchmarks/bench_speed.py --batch --smoke # CI gate: one column,
                                                      # exit 1 unless batch
                                                      # beats dag
+    python benchmarks/bench_speed.py --native-batch  # column grid with the
+                                                     # JIT vector-clock
+                                                     # kernel ->
+                                                     # BENCH_native_batch.json
+    python benchmarks/bench_speed.py --native-batch --smoke
+                                                     # CI gate: one column,
+                                                     # exit 1 unless
+                                                     # bit-identical and
+                                                     # (under numba) >= 3x
+                                                     # the batch engine
     python benchmarks/bench_speed.py --store         # cached-column read
                                                      # throughput, shards vs
                                                      # per-file JSON ->
@@ -834,6 +844,155 @@ def run_native_mode(args) -> int:
     return 0
 
 
+def run_native_batch_mode(args) -> int:
+    """``--native-batch``: the JIT vector-clock column kernel vs the
+    pure-Python batch engine.
+
+    Same columns and protocol as ``--batch``, compared pairwise: each
+    full-axis column is evaluated by ``repro.sched.batch`` (the
+    pure-Python batchline) and by ``repro.sched.native_batch`` (the
+    array replay kernel), with bit-identity asserted per (point, size).
+    Kernels are warmed once up front.  The recorded document carries
+    ``kernel_mode`` — ``"jit"`` on numba installs, ``"interp"`` where
+    numba is absent and the pure-Python twin of the kernel is timed
+    instead (same bits, none of the speed; the committed >= 3x figure is
+    a JIT-mode number and the smoke gate only enforces it under JIT).
+    """
+    from repro.sched import native_batch
+    from repro.sched.batch import clear_lowering_cache
+    from repro.sched.batch import evaluate_column as batch_column
+
+    mode = native_batch.warm_kernels()
+    clear_lowering_cache()
+
+    if args.columns:
+        columns = parse_columns(args.columns)
+    else:
+        columns = BATCH_SMOKE_COLUMNS if args.smoke else BATCH_COLUMNS
+    axis = BATCH_SMOKE_AXIS if args.smoke else BATCH_AXIS
+    reps = args.reps if args.reps is not None else (2 if args.smoke else 3)
+    print(
+        f"native column kernel speed ({mode} mode): {len(columns)} columns "
+        f"x {len(axis)} sizes, best of {reps} reps each"
+    )
+
+    def time_column(evaluate, spec):
+        lib, coll, nodes, ppn = spec
+        best = float("inf")
+        col = None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            col = evaluate(lib, coll, nodes, ppn, axis)
+            best = min(best, time.perf_counter() - t0)
+        return best, col
+
+    rows = []
+    mismatches = []
+    bailouts = 0
+    for spec in columns:
+        lib, coll, nodes, ppn = spec
+        batch_s, batch_col = time_column(batch_column, spec)
+        native_s, native_col = time_column(
+            native_batch.evaluate_column, spec)
+        bad = [
+            s for s in axis
+            if native_col.results[s] != batch_col.results[s]
+        ]
+        if bad:
+            mismatches.append((spec, bad))
+        bailouts += native_col.stats.native_bailouts
+        rows.append({
+            "library": lib,
+            "collective": coll,
+            "nodes": nodes,
+            "ppn": ppn,
+            "sizes": len(axis),
+            "batch_s": batch_s,
+            "native_batch_s": native_s,
+            "native_batch_vs_batch": batch_s / native_s,
+            "native_bailouts": native_col.stats.native_bailouts,
+        })
+        print(
+            f"  {lib:>15} {coll:<9} {nodes}x{ppn:<2} {len(axis)} sizes  "
+            f"batch {batch_s * 1e3:8.1f}ms  native "
+            f"{native_s * 1e3:8.1f}ms  {batch_s / native_s:5.2f}x",
+            flush=True,
+        )
+
+    if mismatches:
+        print(f"FAIL: engines disagree on {len(mismatches)} columns:")
+        for spec, bad in mismatches:
+            print(f"  {spec}: {bad[:8]}{'...' if len(bad) > 8 else ''}")
+        return 1
+
+    npoints = sum(r["sizes"] for r in rows)
+    batch_total = sum(r["batch_s"] for r in rows)
+    native_total = sum(r["native_batch_s"] for r in rows)
+    ratios = [r["native_batch_vs_batch"] for r in rows]
+    aggregate = {
+        "points": npoints,
+        "kernel_mode": mode,
+        "batch_points_per_sec": npoints / batch_total,
+        "native_batch_points_per_sec": npoints / native_total,
+        "native_batch_vs_batch": batch_total / native_total,
+        "native_bailouts": bailouts,
+        "per_column_min": min(ratios),
+        "per_column_median": statistics.median(ratios),
+        "per_column_max": max(ratios),
+    }
+    print(
+        f"aggregate ({mode}): batch "
+        f"{aggregate['batch_points_per_sec']:.1f} pts/s, native-batch "
+        f"{aggregate['native_batch_points_per_sec']:.1f} pts/s -> "
+        f"{aggregate['native_batch_vs_batch']:.2f}x vs batch "
+        f"(per-column min {aggregate['per_column_min']:.2f}x / "
+        f"median {aggregate['per_column_median']:.2f}x / "
+        f"max {aggregate['per_column_max']:.2f}x)"
+    )
+
+    if args.smoke:
+        if mode == "jit":
+            # the acceptance bar: the JIT column kernel must hold >= 3x
+            # over the pure-Python batchline on the smoke column too
+            if aggregate["native_batch_vs_batch"] < 3.0:
+                print("FAIL: native batch kernel under 3x the pure "
+                      "batch engine")
+                return 1
+            print("smoke ok: bit-identical, native-batch >= 3x batch (jit)")
+        else:
+            # no numba: the interp twin proves identity, not speed —
+            # gating on throughput here would test the wrong thing
+            print("smoke ok: bit-identical (interp mode; speed gate "
+                  "needs numba)")
+        return 0
+
+    out = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_native_batch.json"
+    )
+    doc = {
+        "benchmark": "native-batch-kernel-vs-pure-python-batch-engine",
+        "python": sys.version.split()[0],
+        "kernel_mode": mode,
+        "reps": reps,
+        "protocol": (
+            "kernels warmed once up front (one-time LLVM compile excluded, "
+            "as in real sweeps); best-of-reps wall time per column; axis = "
+            "eighth-octave 16B..512KB (121 sizes); batch = one pure-Python "
+            "evaluate_column over the axis, native-batch = the same column "
+            "replayed by the array kernel of repro.sim.native_batchline; "
+            "bit-identical samples and message counts asserted per (point, "
+            "size); kernel_mode records whether numba JIT-compiled the "
+            "kernel ('jit') or the pure-Python interp twin was timed "
+            "('interp' - same bits, not representative of native speed)"
+        ),
+        "columns": rows,
+        "aggregate": aggregate,
+    }
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
 def run_batch_mode(args) -> int:
     if args.columns:
         columns = parse_columns(args.columns)
@@ -950,6 +1109,14 @@ def main(argv=None) -> int:
              "native >= 10x dag)",
     )
     parser.add_argument(
+        "--native-batch", action="store_true", dest="native_batch",
+        help="native column-kernel benchmark: full size axes, the JIT "
+             "vector-clock replay kernel vs the pure-Python batch engine "
+             "-> BENCH_native_batch.json (with --smoke: one small column, "
+             "exit 1 unless bit-identical, and — under numba — "
+             "native-batch >= 3x batch)",
+    )
+    parser.add_argument(
         "--analytic", action="store_true",
         help="closed-form tier benchmark: full size axes, analytic vs dag, "
              "-> BENCH_analytic.json (with --smoke: one small column, exit "
@@ -997,6 +1164,8 @@ def main(argv=None) -> int:
         return run_serve_mode(args)
     if args.store:
         return run_store_mode(args)
+    if args.native_batch:
+        return run_native_batch_mode(args)
     if args.native:
         return run_native_mode(args)
     if args.analytic:

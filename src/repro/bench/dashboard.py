@@ -2,7 +2,8 @@
 
 The repository commits one ``BENCH_*.json`` document per performance
 campaign (``BENCH_fastpath.json``, ``BENCH_native.json``,
-``BENCH_batch.json``, ``BENCH_analytic.json``, ``BENCH_store.json``,
+``BENCH_batch.json``, ``BENCH_native_batch.json``,
+``BENCH_analytic.json``, ``BENCH_store.json``,
 ``BENCH_serve.json`` — all written by
 ``benchmarks/bench_speed.py``).  Each carries an ``aggregate`` block with
 a headline points-per-second figure.  This tool lines those figures up
@@ -40,6 +41,7 @@ __all__ = ["main", "headline_metric"]
 _PREFERRED_METRICS = (
     "warm_points_per_sec",
     "store_points_per_sec",
+    "native_batch_points_per_sec",
     "native_points_per_sec",
     "batch_points_per_sec",
     "analytic_points_per_sec",

@@ -45,9 +45,13 @@ COLLECTIVES = (
 #: numba), the batch engine (bit-identical, whole size columns
 #: vectorized), the analytic tier (closed-form estimates — approximate,
 #: error-bounded, never picked by ``auto``; see
-#: :mod:`repro.sched.analytic`), or ``auto`` (native/DAG/batch whenever
-#: they apply, event loop otherwise)
-ENGINES = ("event", "dag", "native", "batch", "analytic", "auto")
+#: :mod:`repro.sched.analytic`), the native batch engine (bit-identical,
+#: whole size columns replayed in the numba-JIT vector-clock kernel of
+#: :mod:`repro.sched.native_batch`; falls back to the pure-Python batch
+#: engine without numba), or ``auto`` (native/DAG/batch whenever they
+#: apply, event loop otherwise)
+ENGINES = ("event", "dag", "native", "batch", "native-batch", "analytic",
+           "auto")
 
 
 def resolve_engine(
@@ -62,7 +66,9 @@ def resolve_engine(
     replay otherwise (same bits either way).  For a *single* point the
     result is always ``"event"``, ``"dag"`` or ``"native"``; the sweep
     runner upgrades ``auto`` columns to the batch engine itself, where
-    the whole size axis is in hand (see :mod:`repro.bench.runner.pool`).
+    the whole size axis is in hand — and to the native batch kernel
+    (``"native-batch"``) wherever numba imports (see
+    :mod:`repro.bench.runner.pool`).
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
@@ -211,7 +217,11 @@ def run_point(
     column engine (:func:`repro.sched.batch.evaluate_column`) — same
     coverage and bit-identity contract as ``"dag"``; a single point gains
     nothing over it, the option exists so sweep drivers can thread one
-    engine name end to end.  ``"analytic"`` skips simulation entirely and
+    engine name end to end.  ``"native-batch"`` is the batch engine with
+    its vector passes replayed by the numba-JIT kernel
+    (:mod:`repro.sched.native_batch`) — bit-identical, same coverage;
+    without numba it transparently runs the pure-Python batch engine
+    instead.  ``"analytic"`` skips simulation entirely and
     returns the closed-form estimate (approximate — see
     :mod:`repro.sched.analytic` for the error contract); ``auto`` never
     selects it.  ``"auto"`` degrades to the event loop instead of raising.
@@ -241,12 +251,22 @@ def run_point(
             samples=est.samples,
             internode_messages=est.internode_messages,
         )
-    if engine == "batch":
+    if engine in ("batch", "native-batch"):
         if tracer is not None:
             raise ValueError(
-                "engine='batch' cannot record traces; use engine='event'"
+                f"engine={engine!r} cannot record traces; use engine='event'"
             )
-        from repro.sched.batch import evaluate_column
+        if engine == "native-batch":
+            from repro.sched.native_batch import native_batch_available
+
+            if native_batch_available():
+                from repro.sched.native_batch import evaluate_column
+            else:
+                # no numba (or PIPMCOLL_NO_NATIVE=1): the pure-Python
+                # batch engine is the bit-identical fallback
+                from repro.sched.batch import evaluate_column
+        else:
+            from repro.sched.batch import evaluate_column
 
         col = evaluate_column(
             library, collective, nodes, ppn, [msg_bytes],

@@ -239,6 +239,11 @@ def main(argv=None) -> int:
             f"   [batch lowering: {lo['hits']} hits, {lo['misses']} misses "
             f"across {lo['columns']} column work units]"
         )
+        emit(
+            f"   [native batch: {lo['jit_columns']} jit / "
+            f"{lo['interp_columns']} interp kernel columns, "
+            f"{lo['native_bailouts']} bailouts]"
+        )
     return 0
 
 

@@ -68,14 +68,15 @@ def run_point_spec(point: Point) -> MicrobenchResult:
     )
 
 
-def run_sweep_column(points: Sequence[Point]) -> List[MicrobenchResult]:
-    """Pool worker: evaluate one column of points in a single batch pass.
+def _evaluate_sweep_column(points: Sequence[Point]):
+    """Evaluate one column work unit; returns the raw ``ColumnResult``.
 
-    ``points`` must agree on everything but ``msg_bytes`` (the runner's
-    grouping guarantees it).  Results come back in ``points`` order and
-    are bit-identical to running each point on the DAG engine — the batch
-    engine's contract (see :mod:`repro.sched.batch`).  Top-level for the
-    same pickling reason as :func:`run_point_spec`.
+    Explicit ``engine="batch"`` points stay on the pure-Python batch
+    engine; ``"native-batch"`` and upgraded ``"auto"`` columns replay on
+    the native vector-clock kernel whenever it is usable
+    (:func:`repro.sched.native_batch.native_batch_available` — numba
+    importable and ``PIPMCOLL_NO_NATIVE`` unset), and fall back to the
+    pure batch engine otherwise.  Bit-identical either way.
     """
     first = points[0]
     # fail fast with run_point's exact semantics (it refuses measure < 1
@@ -84,9 +85,16 @@ def run_sweep_column(points: Sequence[Point]) -> List[MicrobenchResult]:
     if first.measure < 1:
         raise ValueError("need at least one measured iteration")
 
-    from repro.sched.batch import evaluate_column
+    evaluate = None
+    if first.engine != "batch":
+        from repro.sched.native_batch import native_batch_available
 
-    col = evaluate_column(
+        if native_batch_available():
+            from repro.sched.native_batch import evaluate_column as evaluate
+    if evaluate is None:
+        from repro.sched.batch import evaluate_column as evaluate
+
+    return evaluate(
         first.library,
         first.collective,
         first.nodes,
@@ -97,6 +105,9 @@ def run_sweep_column(points: Sequence[Point]) -> List[MicrobenchResult]:
         measure=first.measure,
         thresholds=first.thresholds,
     )
+
+
+def _column_results(points: Sequence[Point], col) -> List[MicrobenchResult]:
     out: List[MicrobenchResult] = []
     for p in points:
         fast = col.results[p.msg_bytes]
@@ -115,11 +126,23 @@ def run_sweep_column(points: Sequence[Point]) -> List[MicrobenchResult]:
     return out
 
 
+def run_sweep_column(points: Sequence[Point]) -> List[MicrobenchResult]:
+    """Pool worker: evaluate one column of points in a single batch pass.
+
+    ``points`` must agree on everything but ``msg_bytes`` (the runner's
+    grouping guarantees it).  Results come back in ``points`` order and
+    are bit-identical to running each point on the DAG engine — the batch
+    engine's contract (see :mod:`repro.sched.batch`).  Top-level for the
+    same pickling reason as :func:`run_point_spec`.
+    """
+    return _column_results(points, _evaluate_sweep_column(points))
+
+
 def run_sweep_column_stats(
     points: Sequence[Point],
-) -> Tuple[List[MicrobenchResult], Dict[str, int]]:
+) -> Tuple[List[MicrobenchResult], Dict]:
     """Pool worker: :func:`run_sweep_column` plus this work unit's lowering
-    counters.
+    and kernel counters.
 
     Pool workers are separate processes, so the parent's
     ``planner_cache_info()["batch_lowering"]`` counters never see column
@@ -127,18 +150,23 @@ def run_sweep_column_stats(
     snapshots the per-process counters around the column pass and ships
     the *delta* home in the result payload, so the runner can aggregate
     lowering hits/misses across every work unit of the sweep regardless
-    of which process ran it.
+    of which process ran it.  The delta also carries the column's
+    ``kernel_mode`` (``""`` for the pure-Python batchline, ``"jit"`` /
+    ``"interp"`` for the native kernel) and its ``native_bailouts``
+    count, aggregated the same way.
     """
     from repro.sched.batch import lowering_cache_info
 
     before = lowering_cache_info()
-    results = run_sweep_column(points)
+    col = _evaluate_sweep_column(points)
     after = lowering_cache_info()
     delta = {
         "hits": after.hits - before.hits,
         "misses": after.misses - before.misses,
+        "kernel_mode": col.stats.kernel_mode,
+        "native_bailouts": col.stats.native_bailouts,
     }
-    return results, delta
+    return _column_results(points, col), delta
 
 
 def _column_group_key(point: Point) -> Tuple:
@@ -153,10 +181,11 @@ def _column_group_key(point: Point) -> Tuple:
 def plan_column_routes(points: Sequence[Point]) -> Dict[Tuple, List[int]]:
     """Indices of column-routed points, grouped by column.
 
-    A point rides a column when its engine is ``"batch"`` explicitly, or
-    when it is ``"auto"``, the pair is planner-backed, and at least one
-    other point shares its column with a different size — the regime
-    where the vectorized pass pays for itself.  Shared by
+    A point rides a column when its engine is ``"batch"`` or
+    ``"native-batch"`` explicitly, or when it is ``"auto"``, the pair is
+    planner-backed, and at least one other point shares its column with a
+    different size — the regime where the vectorized pass pays for
+    itself.  Shared by
     :class:`SweepRunner` and the :mod:`repro.serve` daemon so both fronts
     route identically (the bit-identity contract makes routing invisible
     in the results, but identical routing keeps cache traffic and
@@ -164,7 +193,7 @@ def plan_column_routes(points: Sequence[Point]) -> Dict[Tuple, List[int]]:
     """
     groups: Dict[Tuple, List[int]] = {}
     for i, p in enumerate(points):
-        if p.engine == "batch" or (
+        if p.engine in ("batch", "native-batch") or (
             p.engine == "auto"
             and fastpath_supported(p.library, p.collective)
         ):
@@ -172,7 +201,7 @@ def plan_column_routes(points: Sequence[Point]) -> Dict[Tuple, List[int]]:
     return {
         key: idxs
         for key, idxs in groups.items()
-        if points[idxs[0]].engine == "batch"
+        if points[idxs[0]].engine in ("batch", "native-batch")
         or len({points[i].msg_bytes for i in idxs}) > 1
     }
 
@@ -252,14 +281,22 @@ class SweepRunner:
         if engine is not None and engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
         self.engine = engine
-        #: lowering-cache counters summed over every column work unit this
-        #: runner executed (pool or serial); see run_sweep_column_stats
-        self._lowering_totals = {"hits": 0, "misses": 0, "columns": 0}
+        #: lowering-cache and native-kernel counters summed over every
+        #: column work unit this runner executed (pool or serial); see
+        #: run_sweep_column_stats
+        self._lowering_totals = {
+            "hits": 0, "misses": 0, "columns": 0,
+            "jit_columns": 0, "interp_columns": 0, "native_bailouts": 0,
+        }
 
     def lowering_cache_totals(self) -> Dict[str, int]:
         """Batch-lowering hits/misses aggregated across all column work
         units run by this runner — survives the process pool, unlike the
-        in-process ``planner_cache_info()["batch_lowering"]`` counters."""
+        in-process ``planner_cache_info()["batch_lowering"]`` counters.
+        ``jit_columns``/``interp_columns`` count the work units whose
+        vector passes ran on the native kernel (by tier), and
+        ``native_bailouts`` the passes the kernel handed back to the
+        pure-Python batchline."""
         return dict(self._lowering_totals)
 
     # -- execution -------------------------------------------------------
@@ -350,6 +387,12 @@ class SweepRunner:
                     self._lowering_totals["hits"] += lower_delta["hits"]
                     self._lowering_totals["misses"] += lower_delta["misses"]
                     self._lowering_totals["columns"] += 1
+                    mode = lower_delta.get("kernel_mode") or ""
+                    if mode:
+                        self._lowering_totals[f"{mode}_columns"] += 1
+                    self._lowering_totals["native_bailouts"] += (
+                        lower_delta.get("native_bailouts", 0)
+                    )
                     if self.use_cache:
                         self.cache.put_many(group, col_results)
                     for i, result in zip(idxs, col_results):

@@ -1,0 +1,1531 @@
+"""Nopython twin of the batch (vector-clock) replay for ``native-batch``.
+
+This module holds the *kernel* of ``engine="native-batch"``: one replay
+function (plus cost helpers) written against plain numpy arrays and
+scalars only — no dicts, no strings, no Python objects — so that it
+compiles under ``numba.njit`` unchanged.  It is the batch-engine
+counterpart of :mod:`repro.sim.native_timeline`: where that kernel
+advances one scalar clock, this one advances a ``float64[S]`` vector
+clock over a whole message-size partition, mirroring
+:class:`repro.sim.batchline.BatchTimeline` /
+:class:`repro.sched.batch.BatchWorld` event for event.
+
+:func:`build_kernels` takes a decorator (``numba.njit`` when numba
+imports, the identity function when it doesn't) and returns the
+compiled/interpreted kernel set; the same source runs in ``jit`` and
+``interp`` modes exactly as documented in
+:mod:`repro.sim.native_timeline`, and the kill switch is the same
+``PIPMCOLL_NO_NATIVE`` gate.
+
+Vector-for-vector identity argument
+-----------------------------------
+
+The acceptance contract is that ``engine="native-batch"`` produces
+bit-identical float64 samples to ``engine="batch"`` for every (point,
+size) — including which sizes are flagged order-divergent.  That holds
+because:
+
+1. **Same arithmetic, same operation order, per column.**  Every
+   ``(S,)`` time vector the pure-Python batch engine builds is an
+   elementwise numpy expression; the kernel computes each column of the
+   same expression with the same scalar IEEE-754 operations in the same
+   order (``np.maximum`` becomes a compare-and-pick per column — equal
+   operands, equal bits).  Time vectors live as immutable rows of one
+   ``(T, S)`` pool; every ``tl.call(now + d, ...)`` of the pure engine
+   allocates a fresh row here, exactly like the fresh arrays the cost
+   closures build.
+2. **Same event order.**  The heap stores ``(pivot_time, seq)`` with
+   heapq's tuple comparison; every ``tl.call`` seq increment has a
+   counterpart here, the ready ring is drained fully before each heap
+   pop, and ready entries carry their exact max-resume override rows —
+   so the pivot-ordered dispatch sequence is identical to
+   :meth:`BatchTimeline.run`.
+3. **Same adjudication inputs.**  The kernel records the pop log
+   (time row, seq, epoch, push parent) and the raw resource-touch log
+   (resource id, pop, kind, ok-mask row); after the run the sched layer
+   replays that log through a *real* :class:`BatchTimeline` — same
+   collapse rules, same conflict matrix, same tie reconstruction, same
+   counter-crossing re-checks — so ``order_divergence()`` and the
+   divergence-signature labels are computed by the very code the pure
+   engine uses.
+4. **Same splits.**  Every size-dependent branch (eager/rendezvous,
+   hybrid mechanism picks, ``nbytes > 0``, cold-fault masks) performs
+   the pivot-first uniformity test of the pure engine and, on a mixed
+   mask, aborts with ``ST_DIVERGENT`` and the identical mask — the
+   sched layer re-raises :class:`BatchDivergence` so the partition
+   splits at the same boundary.
+
+``tests/sched/test_native_batch.py`` pins the contract across the
+registry grid, threshold-straddling axes and a forced-divergence pass.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "build_kernels",
+    "get_kernels",
+    "jit_available",
+    "kernel_mode",
+    "build_count",
+    "REPLAY_ARGS",
+]
+
+# -- opcode values (must mirror repro.sched.fastpath's _OP_* order) --------
+(
+    OP_SEND_INTRA,
+    OP_SEND_INTER,
+    OP_RECV,
+    OP_WAIT,
+    OP_COPY,
+    OP_REDUCE,
+    OP_POST,
+    OP_LOOKUP,
+    OP_ADD,
+    OP_CWAIT,
+    OP_ALLOC,
+    OP_PHASE,
+    OP_COMPUTE,
+) = range(13)
+
+# -- continuation codes (heap/ready entries: which callback fires) ---------
+(
+    K_RUN,
+    K_SEND_INTRA,
+    K_SEND_INTER,
+    K_NEXT_WAIT,
+    K_RECV_WORK,
+    K_RECV_DONE,
+    K_POST,
+    K_LOOKUP,
+    K_LOOKUP_BIND,
+    K_ADD,
+    K_CWAIT,
+    K_DELIVER,
+    K_COMPLETE_SEND,
+) = range(13)
+
+# -- float parameter vector indices (same layout as native_timeline) -------
+(
+    P_PROC_BW,
+    P_PROC_DMA_BW,
+    P_RATE_FLOOR,      # 1.0 / proc_msg_rate, divided once
+    P_NIC_BW,
+    P_NIC_INTERVAL,    # 1.0 / nic_msg_rate, divided once
+    P_FABRIC_BW,
+    P_WIRE_LAT,
+    P_SEND_OVH,
+    P_RECV_OVH,
+    P_PIP_POST,
+    P_PIP_FLAG,
+    P_COPY_LAT,
+    P_CORE_BW,
+    P_REDUCE_BW,
+    P_PAGE_FAULT,
+    P_SYSCALL,
+    P_SIZESYNC,
+    P_XP_EXPOSE,
+    P_XP_ATTACH,
+    P_XP_REATTACH,
+    P_SW_OVH,
+) = range(21)
+P_LEN = 21
+
+# -- int config vector indices ---------------------------------------------
+(
+    C_NODES,
+    C_PPN,
+    C_NTASKS,
+    C_HAS_FABRIC,
+    C_MECH_SMALL,
+    C_MECH_LARGE,
+    C_MECH_THRESH,
+    C_EAGER_THRESH,
+    C_PAGE_SIZE,
+    C_RTS_ROW,         # NB row holding the broadcast RTS header bytes
+    C_NQUEUES,
+    C_TRACK_MB,        # mechanism has warm state: record ("mb", bid)
+    C_MB_BASE,         # first buffer-identity resource id
+    C_QRES_BASE,       # first match-queue resource id
+) = range(14)
+C_LEN = 14
+
+# -- mechanism codes -------------------------------------------------------
+MECH_POSIX = 0
+MECH_KERNEL = 1
+MECH_XPMEM = 2
+MECH_PIP = 3
+
+# -- scratch (SCR) columns per task ----------------------------------------
+(
+    S_PC,
+    S_DST,
+    S_NODE,
+    S_BID,
+    S_CNT,     # NB row of the pending byte-count vector
+    S_QID,
+    S_REQ,
+    S_KEY,     # pending board / counter id
+    S_VAL,     # pending post: buffer id; pending add: n
+    S_VAL2,    # pending post: NB count row
+    S_BIND,    # pending lookup: binding name id (-1 = none)
+    S_WOFF,
+    S_WLEN,
+    S_WIDX,
+) = range(14)
+S_LEN = 14
+
+# -- work/state vector (int64) indices -------------------------------------
+(
+    W_SEQ,      # timeline push sequence (persists across iterations)
+    W_TPN,      # time-row pool fill
+    W_NBN,      # count-row pool fill
+    W_MPN,      # mask-row pool fill
+    W_POPN,     # pop-log fill
+    W_TRN,      # touch-log fill
+    W_MN,       # message-pool fill
+    W_RN,       # request-pool fill
+    W_CAN,      # counter-add-log fill
+    W_CKN,      # counter-check-log fill
+    W_NOWROW,   # timeline clock row (epoch-end colwise max)
+    W_STATUS,
+    W_DIVROW,   # MP row of the divergence mask when ST_DIVERGENT
+    W_BCONF,    # a board key was posted twice
+    W_LIVE,
+    W_EPOCH,
+    W_ELAPSED,  # TP row of this iteration's elapsed vector
+    W_MSGS,     # internode messages sent (all iterations)
+    W_BUFSEQ,   # AllocStep buffer-id sequence
+    W_START,    # TP row of this iteration's start vector
+) = range(20)
+W_LEN = 20
+
+# -- kernel exit statuses --------------------------------------------------
+ST_OK = 0
+ST_DEADLOCK = 1      # programs blocked with both queues drained
+ST_LEFTOVER = 2      # match queues not drained at iteration end (bail)
+ST_OVERFLOW = 3      # a pool/log capacity was exceeded (retry larger)
+ST_DIVERGENT = 4     # a size-dependent branch was not uniform (split)
+
+#: times build_kernels actually ran (warm-cache tests pin that repeat
+#: calls to get_kernels hit the cache instead of rebuilding)
+build_count = 0
+
+_ENV_NO_NATIVE = "PIPMCOLL_NO_NATIVE"
+
+
+def jit_available() -> bool:
+    """Whether the numba JIT can be used (installed and not disabled).
+
+    The same uniform kill switch as :mod:`repro.sim.native_timeline`:
+    ``PIPMCOLL_NO_NATIVE=1`` disables every JIT tier at once.
+    """
+    if os.environ.get(_ENV_NO_NATIVE, "") not in ("", "0"):
+        return False
+    try:  # pragma: no cover - exercised only where numba is installed
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def kernel_mode() -> str:
+    """``"jit"`` or ``"interp"`` — how :func:`get_kernels` will build."""
+    return "jit" if jit_available() else "interp"
+
+
+def build_kernels(jit):
+    """Build the kernel set under decorator ``jit`` (njit or identity).
+
+    Returns ``{"replay": fn}``.  Helpers are closure-bound so that under
+    numba each call site binds to the compiled Dispatcher.
+    """
+
+    @jit
+    def _hpush(ht, hs, hk, hta, hx, hrow, hpar, nh, t0, seq, kind, task,
+               aux, row, par):
+        # binary min-heap on (pivot time, seq); identical total order to
+        # heapq's tuple comparison (seq is unique)
+        i = nh
+        ht[i] = t0
+        hs[i] = seq
+        hk[i] = kind
+        hta[i] = task
+        hx[i] = aux
+        hrow[i] = row
+        hpar[i] = par
+        while i > 0:
+            p = (i - 1) >> 1
+            if ht[i] < ht[p] or (ht[i] == ht[p] and hs[i] < hs[p]):
+                ht[i], ht[p] = ht[p], ht[i]
+                hs[i], hs[p] = hs[p], hs[i]
+                hk[i], hk[p] = hk[p], hk[i]
+                hta[i], hta[p] = hta[p], hta[i]
+                hx[i], hx[p] = hx[p], hx[i]
+                hrow[i], hrow[p] = hrow[p], hrow[i]
+                hpar[i], hpar[p] = hpar[p], hpar[i]
+                i = p
+            else:
+                break
+        return nh + 1
+
+    @jit
+    def _hpop(ht, hs, hk, hta, hx, hrow, hpar, nh):
+        # root is the minimum; caller reads hk/hta/hx/hrow/hpar[nh - 1]
+        # after the call (the popped entry is parked past the new end)
+        last = nh - 1
+        rt, rs = ht[0], hs[0]
+        rk_, rta, rx_ = hk[0], hta[0], hx[0]
+        rrow, rpar = hrow[0], hpar[0]
+        ht[0], hs[0] = ht[last], hs[last]
+        hk[0], hta[0], hx[0] = hk[last], hta[last], hx[last]
+        hrow[0], hpar[0] = hrow[last], hpar[last]
+        i = 0
+        while True:
+            l = 2 * i + 1
+            if l >= last:
+                break
+            r = l + 1
+            c = l
+            if r < last and (ht[r] < ht[l]
+                             or (ht[r] == ht[l] and hs[r] < hs[l])):
+                c = r
+            if ht[c] < ht[i] or (ht[c] == ht[i] and hs[c] < hs[i]):
+                ht[i], ht[c] = ht[c], ht[i]
+                hs[i], hs[c] = hs[c], hs[i]
+                hk[i], hk[c] = hk[c], hk[i]
+                hta[i], hta[c] = hta[c], hta[i]
+                hx[i], hx[c] = hx[c], hx[i]
+                hrow[i], hrow[c] = hrow[c], hrow[i]
+                hpar[i], hpar[c] = hpar[c], hpar[i]
+                i = c
+            else:
+                break
+        ht[last], hs[last] = rt, rs
+        hk[last], hta[last], hx[last] = rk_, rta, rx_
+        hrow[last], hpar[last] = rrow, rpar
+        return last
+
+    @jit
+    def _addc(TP, W, a, c):
+        # fresh row: TP[a] + c  (tl.call(now + const, ...))
+        S = TP.shape[1]
+        r = W[W_TPN]
+        for j in range(S):
+            TP[r, j] = TP[a, j] + c
+        W[W_TPN] = r + 1
+        return r
+
+    @jit
+    def _addrow(TP, W, a, b):
+        # fresh row: TP[a] + TP[b]
+        S = TP.shape[1]
+        r = W[W_TPN]
+        for j in range(S):
+            TP[r, j] = TP[a, j] + TP[b, j]
+        W[W_TPN] = r + 1
+        return r
+
+    @jit
+    def _maxrow(TP, W, a, b):
+        # fresh row: np.maximum(TP[a], TP[b])
+        S = TP.shape[1]
+        r = W[W_TPN]
+        for j in range(S):
+            x = TP[a, j]
+            y = TP[b, j]
+            TP[r, j] = x if x > y else y
+        W[W_TPN] = r + 1
+        return r
+
+    @jit
+    def _touch(tr_res, tr_cur, tr_kind, tr_mrow, W, res, cur):
+        # raw log entry; the sched layer replays it through the real
+        # BatchTimeline.touch (collapse rules live there)
+        i = W[W_TRN]
+        tr_res[i] = res
+        tr_cur[i] = cur
+        tr_kind[i] = 0
+        tr_mrow[i] = -1
+        W[W_TRN] = i + 1
+
+    @jit
+    def _touch_ok(tr_res, tr_cur, tr_kind, tr_mrow, W, res, cur, mrow):
+        # mrow: -1 = scalar True, -2 = scalar False, >= 0 = MP mask row
+        i = W[W_TRN]
+        tr_res[i] = res
+        tr_cur[i] = cur
+        tr_kind[i] = 1
+        tr_mrow[i] = mrow
+        W[W_TRN] = i + 1
+
+    @jit
+    def _fault(P, C, W, TP, NB, MP, warm, dst_rank, bid, cntrow):
+        # BatchMemory.fault_cost for an (S,) count row.  Returns
+        # (row, const): row >= 0 is a fresh TP row, row == -1 means the
+        # scalar ``const``; on a mixed zero-mask sets ST_DIVERGENT with
+        # the ~zero mask and returns (-1, 0.0).
+        S = NB.shape[1]
+        allz = True
+        anyz = False
+        for j in range(S):
+            if NB[cntrow, j] == 0:
+                anyz = True
+            else:
+                allz = False
+        if allz:
+            return -1, 0.0
+        if warm[0, dst_rank, bid] != 0:
+            return -1, 0.0
+        if anyz:
+            m = W[W_MPN]
+            for j in range(S):
+                MP[m, j] = NB[cntrow, j] != 0
+            W[W_MPN] = m + 1
+            W[W_DIVROW] = m
+            W[W_STATUS] = ST_DIVERGENT
+            return -1, 0.0
+        warm[0, dst_rank, bid] = 1
+        r = W[W_TPN]
+        for j in range(S):
+            pages = -((-NB[cntrow, j]) // C[C_PAGE_SIZE])
+            TP[r, j] = pages * P[P_PAGE_FAULT]
+        W[W_TPN] = r + 1
+        return r, 0.0
+
+    @jit
+    def _occupy(P, W, TP, NB, MP, tr_res, tr_cur, tr_kind, tr_mrow,
+                lane_free, node, nowrow, cntrow, frow, fconst, bw,
+                mm_res, cur):
+        # BatchMemory._occupy: blocked = copy_latency + extra, plus the
+        # lane reservation when any count is positive.  The extra (fixed
+        # match cost) arrives as row + const: ``TP[frow] + fconst`` when
+        # ``frow >= 0``, else the scalar ``fconst`` (IEEE addition is
+        # commutative, so fault-row/const regrouping keeps bits).
+        # Returns (row, const) like _fault; a mixed nbytes>0 mask sets
+        # ST_DIVERGENT.
+        S = NB.shape[1]
+        pos0 = NB[cntrow, 0] > 0
+        mixed = False
+        anyp = False
+        for j in range(S):
+            p = NB[cntrow, j] > 0
+            if p:
+                anyp = True
+            if p != pos0:
+                mixed = True
+        if mixed:
+            m = W[W_MPN]
+            for j in range(S):
+                MP[m, j] = NB[cntrow, j] > 0
+            W[W_MPN] = m + 1
+            W[W_DIVROW] = m
+            W[W_STATUS] = ST_DIVERGENT
+            return -1, 0.0
+        if not anyp:
+            if frow >= 0:
+                r = W[W_TPN]
+                for j in range(S):
+                    TP[r, j] = P[P_COPY_LAT] + (TP[frow, j] + fconst)
+                W[W_TPN] = r + 1
+                return r, 0.0
+            return -1, P[P_COPY_LAT] + fconst
+        nlanes = lane_free.shape[1]
+        r = W[W_TPN]
+        W[W_TPN] = r + 1
+        m = W[W_MPN]
+        allok = True
+        for j in range(S):
+            lane = 0
+            mn = lane_free[node, 0, j]
+            for k in range(1, nlanes):
+                if lane_free[node, k, j] < mn:
+                    mn = lane_free[node, k, j]
+                    lane = k
+            prev = lane_free[node, lane, j]
+            service = NB[cntrow, j] / bw
+            tnow = TP[nowrow, j]
+            start = prev if prev > tnow else tnow
+            end = start + service
+            lane_free[node, lane, j] = end
+            ok = prev <= tnow
+            MP[m, j] = ok
+            if not ok:
+                allok = False
+            extra = (TP[frow, j] + fconst) if frow >= 0 else fconst
+            TP[r, j] = (P[P_COPY_LAT] + extra) + (end - tnow)
+        if allok:
+            _touch_ok(tr_res, tr_cur, tr_kind, tr_mrow, W, mm_res, cur, -1)
+        else:
+            W[W_MPN] = m + 1
+            _touch_ok(tr_res, tr_cur, tr_kind, tr_mrow, W, mm_res, cur, m)
+        return r, 0.0
+
+    @jit
+    def _transfer(P, C, W, TP, NB, tr_res, tr_cur, tr_kind, tr_mrow,
+                  inj_free, nic_state, fabric_free, nowrow, src_node,
+                  src_local, dst_node, cntrow, dma, cur):
+        # BatchNic.transfer, operand for operand per column.  nic_state
+        # rows per node: 0 tx_rate, 1 rx_rate, 2 tx_bw, 3 rx_bw next.
+        # Returns (inj_done_row, arrival_row) as two fresh TP rows.
+        S = TP.shape[1]
+        size = C[C_NODES] * C[C_PPN]
+        W[W_MSGS] += 1
+        _touch(tr_res, tr_cur, tr_kind, tr_mrow, W,
+               src_node * C[C_PPN] + src_local, cur)
+        _touch(tr_res, tr_cur, tr_kind, tr_mrow, W, size + src_node, cur)
+        _touch(tr_res, tr_cur, tr_kind, tr_mrow, W,
+               size + C[C_NODES] + dst_node, cur)
+        if C[C_HAS_FABRIC] != 0:
+            _touch(tr_res, tr_cur, tr_kind, tr_mrow, W,
+                   size + 2 * C[C_NODES], cur)
+        ri = W[W_TPN]
+        ra = ri + 1
+        W[W_TPN] = ri + 2
+        pbw = P[P_PROC_DMA_BW] if dma != 0 else P[P_PROC_BW]
+        for j in range(S):
+            nb = NB[cntrow, j]
+            tnow = TP[nowrow, j]
+            service = nb / pbw
+            if service < P[P_RATE_FLOOR]:
+                service = P[P_RATE_FLOOR]
+            inj_start = tnow
+            if inj_free[src_node, src_local, j] > inj_start:
+                inj_start = inj_free[src_node, src_local, j]
+            inj_done = inj_start + service
+            inj_free[src_node, src_local, j] = inj_done
+            tx_admit = nic_state[src_node, 0, j]
+            if inj_start > tx_admit:
+                tx_admit = inj_start
+            nic_state[src_node, 0, j] = tx_admit + P[P_NIC_INTERVAL]
+            wire_service = nb / P[P_NIC_BW]
+            tx_start = nic_state[src_node, 2, j]
+            if tx_admit > tx_start:
+                tx_start = tx_admit
+            tx_end = tx_start + wire_service
+            # the scalar path stores the pre-pipelining end before
+            # maxing with inj_done; replicate that exactly
+            nic_state[src_node, 2, j] = tx_end
+            if inj_done > tx_end:
+                tx_end = inj_done
+            if C[C_HAS_FABRIC] != 0:
+                fab_start = tx_start
+                if fabric_free[0, j] > fab_start:
+                    fab_start = fabric_free[0, j]
+                fab_end = fab_start + nb / P[P_FABRIC_BW]
+                fabric_free[0, j] = fab_end
+                if tx_end > fab_end:
+                    fab_end = tx_end
+                head_start = fab_start
+                tail_end = fab_end
+            else:
+                head_start = tx_start
+                tail_end = tx_end
+            head_arrival = head_start + P[P_WIRE_LAT]
+            rx_admit = nic_state[dst_node, 1, j]
+            if head_arrival > rx_admit:
+                rx_admit = head_arrival
+            nic_state[dst_node, 1, j] = rx_admit + P[P_NIC_INTERVAL]
+            rx_service = nb / P[P_NIC_BW]
+            rx_start = nic_state[dst_node, 3, j]
+            if rx_admit > rx_start:
+                rx_start = rx_admit
+            rx_end = rx_start + rx_service
+            nic_state[dst_node, 3, j] = rx_end
+            arrival = tail_end + P[P_WIRE_LAT]
+            if rx_end > arrival:
+                arrival = rx_end
+            TP[ri, j] = inj_done
+            TP[ra, j] = arrival
+        return ri, ra
+
+    @jit
+    def _pick(C, W, NB, MP, cntrow):
+        # HybridMechanism.pick with the pivot-first uniformity test; a
+        # mixed mask sets ST_DIVERGENT (mask = nbytes < threshold) and
+        # returns -1.  Non-hybrid mechanisms never split here.
+        if C[C_MECH_SMALL] == C[C_MECH_LARGE]:
+            return C[C_MECH_SMALL]
+        S = NB.shape[1]
+        thr = C[C_MECH_THRESH]
+        s0 = NB[cntrow, 0] < thr
+        uniform = True
+        for j in range(1, S):
+            if (NB[cntrow, j] < thr) != s0:
+                uniform = False
+                break
+        if uniform:
+            return C[C_MECH_SMALL] if s0 else C[C_MECH_LARGE]
+        m = W[W_MPN]
+        for j in range(S):
+            MP[m, j] = NB[cntrow, j] < thr
+        W[W_MPN] = m + 1
+        W[W_DIVROW] = m
+        W[W_STATUS] = ST_DIVERGENT
+        return -1
+
+    @jit
+    def _sender_occupy(P, C, W, TP, NB, MP, tr_res, tr_cur, tr_kind,
+                       tr_mrow, warm, lane_free, node, src_rank, bid,
+                       cntrow, nowrow, mech, mm_res, cur):
+        # mechanism sender_occupy for the resolved mech code; (row,
+        # const) result like _occupy
+        if mech == MECH_POSIX:
+            return _occupy(P, W, TP, NB, MP, tr_res, tr_cur, tr_kind,
+                           tr_mrow, lane_free, node, nowrow, cntrow,
+                           -1, 0.0, P[P_CORE_BW], mm_res, cur)
+        if mech == MECH_XPMEM:
+            extra = 0.0
+            if warm[1, src_rank, bid] == 0:
+                warm[1, src_rank, bid] = 1
+                extra = P[P_XP_EXPOSE]
+            # copy_occupy(now, 0, extra): the scalar zero-byte path
+            return -1, P[P_COPY_LAT] + extra
+        return -1, 0.0
+
+    @jit
+    def _match_fixed(P, C, W, TP, NB, MP, warm, dst_rank, bid, cntrow,
+                     mech):
+        # mechanism match_fixed; (row, const) with effective fixed =
+        # TP[row] + const when row >= 0
+        if mech == MECH_POSIX:
+            return -1, 0.0
+        if mech == MECH_PIP:
+            return -1, P[P_SIZESYNC]
+        if mech == MECH_KERNEL:
+            fr, fc = _fault(P, C, W, TP, NB, MP, warm, dst_rank, bid,
+                            cntrow)
+            return fr, P[P_SYSCALL] + fc
+        if warm[2, dst_rank, bid] == 0:
+            warm[2, dst_rank, bid] = 1
+            fr, fc = _fault(P, C, W, TP, NB, MP, warm, dst_rank, bid,
+                            cntrow)
+            return fr, P[P_XP_ATTACH] + fc
+        return -1, P[P_XP_REATTACH]
+
+    @jit
+    def _crossing(TP, W, ca_row, ca_nv, ca_next, ca_head, csort, CS,
+                  cid, thr):
+        # repro.sched.batch._counter_crossing over the counter's add
+        # chain; returns a TP row (an add's own row, or a fresh
+        # order-statistic row from the per-column stable sort)
+        k = 0
+        i = ca_head[cid]
+        while i >= 0:
+            CS[0, k] = ca_row[i]
+            CS[1, k] = ca_nv[i]
+            k += 1
+            i = ca_next[i]
+        if k == 1:
+            return CS[0, 0]
+        if csort[cid] != 0:
+            total = 0
+            for q in range(k):
+                total += CS[1, q]
+                if total >= thr:
+                    return CS[0, q]
+        S = TP.shape[1]
+        r = W[W_TPN]
+        W[W_TPN] = r + 1
+        for j in range(S):
+            # stable insertion sort of the k add indices by time at j
+            for q in range(k):
+                pos = q
+                while pos > 0 and (TP[CS[0, CS[2, pos - 1]], j]
+                                   > TP[CS[0, q], j]):
+                    CS[2, pos] = CS[2, pos - 1]
+                    pos -= 1
+                CS[2, pos] = q
+            cum = 0
+            first = 0
+            for q in range(k):
+                cum += CS[1, CS[2, q]]
+                if cum >= thr:
+                    first = q
+                    break
+            TP[r, j] = TP[CS[0, CS[2, first]], j]
+        return r
+
+    @jit
+    def _deliver(C, W, TP, tr_res, tr_cur, tr_kind, tr_mrow,
+                 m_dst, m_flags, m_trow, m_qid,
+                 q_done, q_msg, q_trow, q_wait, q_wrow,
+                 AQ, AQB, aq_head, aq_tail, PQ, PQB, pq_head, pq_tail,
+                 rk, rt, ra, rov, rtail, m, nowrow, cur):
+        # BatchWorld._deliver: match against a posted recv or enqueue
+        # as an arrived (unexpected) message.  Returns the new ready
+        # ring tail.
+        qid = m_qid[m]
+        res = C[C_QRES_BASE] + qid
+        cls_ok = (m_flags[m] & 3) != 0
+        rcap = rk.shape[0]
+        plen = pq_tail[qid] - pq_head[qid]
+        if plen > 0:
+            ok = -1 if (cls_ok and plen == 1) else -2
+            _touch_ok(tr_res, tr_cur, tr_kind, tr_mrow, W, res, cur, ok)
+            r = PQ[PQB[qid] + pq_head[qid]]
+            pq_head[qid] += 1
+            wt = q_wait[r]
+            if wt >= 0:
+                q_wait[r] = -1
+                i = rtail % rcap
+                rk[i] = K_RECV_WORK
+                rt[i] = wt
+                ra[i] = m
+                rov[i] = _maxrow(TP, W, nowrow, q_wrow[r])
+                rtail += 1
+            else:
+                q_done[r] = 1
+                q_msg[r] = m
+                q_trow[r] = nowrow
+        else:
+            m_flags[m] |= 4
+            m_trow[m] = nowrow
+            AQ[AQB[qid] + aq_tail[qid]] = m
+            aq_tail[qid] += 1
+            alen = aq_tail[qid] - aq_head[qid]
+            ok = -1 if (cls_ok and alen == 1) else -2
+            _touch_ok(tr_res, tr_cur, tr_kind, tr_mrow, W, res, cur, ok)
+        return rtail
+
+    @jit
+    def _complete_send(TP, W, q_done, q_trow, q_wait, q_wrow,
+                       rk, rt, ra, rov, rtail, r, nowrow):
+        # BatchWorld._complete_send: wake the send-side waiter or mark
+        # the request done.  Returns the new ready ring tail.
+        rcap = rk.shape[0]
+        wt = q_wait[r]
+        if wt >= 0:
+            q_wait[r] = -1
+            i = rtail % rcap
+            rk[i] = K_NEXT_WAIT
+            rt[i] = wt
+            ra[i] = -1
+            rov[i] = _maxrow(TP, W, nowrow, q_wrow[r])
+            rtail += 1
+        else:
+            q_done[r] = 1
+            q_trow[r] = nowrow
+        return rtail
+
+    @jit
+    def replay(P, C, W, OPS, OPSTART, WLISTS, FPR, TNODE, TLR,
+               OPQ, OPB, OPCID, ENVB, ENVCR, SCR, HND,
+               TP, NB, MP,
+               ht, hs, hk, hta, hx, hrow, hpar,
+               rk, rt, ra, rov,
+               pop_row, pop_seq, pop_epoch, pop_par,
+               tr_res, tr_cur, tr_kind, tr_mrow,
+               m_src, m_dst, m_cnt, m_bid, m_flags, m_lr, m_sreq,
+               m_trow, m_qid,
+               q_kind, q_done, q_msg, q_trow, q_wait, q_wrow,
+               AQ, AQB, aq_head, aq_tail, PQ, PQB, pq_head, pq_tail,
+               btrig, bvbid, bvrow, btrow,
+               bw_task, bw_rrow, bw_base, bw_tail,
+               cval, csort, ctmax, ca_row, ca_nv, ca_next, ca_head,
+               ca_tail,
+               cw_thr, cw_task, cw_rrow, cw_act, cw_base, cw_tail,
+               ck_cid, ck_thr, ck_reach, ck_used,
+               warm, lane_free, inj_free, nic_state, fabric_free,
+               end_row, CS):
+        """Replay one schedule iteration on the array world state.
+
+        Mirrors ``BatchWorld.run_schedule`` + ``BatchTimeline.run``
+        exactly: root pushes, a ready-ring drain / heap-pop event loop
+        dispatching on continuation kinds, and the epoch-end colwise
+        clock advance.  All timeline pops and resource touches are
+        logged raw; the Python side reconstructs a ``BatchTimeline``
+        from the logs for conflict adjudication.
+        """
+        ntasks = C[C_NTASKS]
+        ppn = C[C_PPN]
+        nodes = C[C_NODES]
+        S = TP.shape[1]
+        hcap = ht.shape[0]
+        rcap = rk.shape[0]
+        tcap = TP.shape[0]
+        ncap = NB.shape[0]
+        mcap = MP.shape[0]
+        popcap = pop_row.shape[0]
+        trcap = tr_res.shape[0]
+        msgcap = m_src.shape[0]
+        reqcap = q_kind.shape[0]
+        cacap = ca_row.shape[0]
+        ckcap = ck_cid.shape[0]
+
+        W[W_STATUS] = ST_OK
+        start = W[W_START]
+        seq = W[W_SEQ]
+        nh = 0
+        rhead = 0
+        rtail = 0
+        epoch = W[W_EPOCH]
+        epop = W[W_POPN]
+        cur = -1
+        tvec = start
+        nowrow = W[W_NOWROW]
+
+        if W[W_TPN] + 2 + ntasks >= tcap:
+            W[W_STATUS] = ST_OVERFLOW
+            W[W_SEQ] = seq
+            return
+        body = _addc(TP, W, start, P[P_SW_OVH])
+        for t in range(ntasks):
+            SCR[t, S_PC] = OPSTART[t]
+            for h in range(HND.shape[1]):
+                HND[t, h] = -1
+            end_row[t] = start
+            seq += 1
+            nh = _hpush(ht, hs, hk, hta, hx, hrow, hpar, nh,
+                        TP[body, 0], seq, K_RUN, t, -1, body, -1)
+        W[W_LIVE] = ntasks
+
+        while True:
+            if (nh + 4 >= hcap or rtail - rhead + 4 + ntasks >= rcap
+                    or W[W_TPN] + 16 >= tcap or W[W_NBN] + 4 >= ncap
+                    or W[W_MPN] + 4 >= mcap or W[W_POPN] + 2 >= popcap
+                    or W[W_TRN] + 8 >= trcap or W[W_MN] + 2 >= msgcap
+                    or W[W_RN] + 2 >= reqcap or W[W_CAN] + 2 >= cacap
+                    or W[W_CKN] + 2 + ntasks >= ckcap):
+                W[W_STATUS] = ST_OVERFLOW
+                break
+            from_ready = False
+            if rhead < rtail:
+                i = rhead % rcap
+                kind = rk[i]
+                task = rt[i]
+                aux = ra[i]
+                nowrow = rov[i]
+                rhead += 1
+                from_ready = True
+            elif nh > 0:
+                nh = _hpop(ht, hs, hk, hta, hx, hrow, hpar, nh)
+                kind = hk[nh]
+                task = hta[nh]
+                aux = hx[nh]
+                tvec = hrow[nh]
+                nowrow = tvec
+                cur = W[W_POPN]
+                pop_row[cur] = tvec
+                pop_seq[cur] = hs[nh]
+                pop_epoch[cur] = epoch
+                pop_par[cur] = hpar[nh]
+                W[W_POPN] = cur + 1
+            else:
+                break
+
+            do_run = False
+            do_nw = False
+
+            if kind == K_RUN:
+                do_run = True
+            elif kind == K_SEND_INTRA:
+                # _BatchTask._send_intra
+                cntrow = SCR[task, S_CNT]
+                mech = _pick(C, W, NB, MP, cntrow)
+                if mech < 0:
+                    break
+                eager = mech == MECH_POSIX
+                m = W[W_MN]
+                W[W_MN] = m + 1
+                m_src[m] = task
+                m_dst[m] = SCR[task, S_DST]
+                m_cnt[m] = cntrow
+                m_bid[m] = SCR[task, S_BID]
+                m_flags[m] = 1
+                m_lr[m] = TLR[task]
+                m_sreq[m] = -1 if eager else SCR[task, S_REQ]
+                m_qid[m] = SCR[task, S_QID]
+                rtail = _deliver(C, W, TP, tr_res, tr_cur, tr_kind,
+                                 tr_mrow, m_dst, m_flags, m_trow,
+                                 m_qid, q_done, q_msg, q_trow, q_wait,
+                                 q_wrow, AQ, AQB, aq_head, aq_tail,
+                                 PQ, PQB, pq_head, pq_tail,
+                                 rk, rt, ra, rov, rtail, m, nowrow,
+                                 cur)
+                if eager:
+                    rtail = _complete_send(TP, W, q_done, q_trow,
+                                           q_wait, q_wrow, rk, rt, ra,
+                                           rov, rtail,
+                                           SCR[task, S_REQ], nowrow)
+                do_run = True
+            elif kind == K_SEND_INTER:
+                # _BatchTask._send_inter
+                cntrow = SCR[task, S_CNT]
+                dnode = SCR[task, S_NODE]
+                req = SCR[task, S_REQ]
+                e0 = NB[cntrow, 0] <= C[C_EAGER_THRESH]
+                uniform = True
+                for j in range(1, S):
+                    if (NB[cntrow, j] <= C[C_EAGER_THRESH]) != e0:
+                        uniform = False
+                        break
+                if not uniform:
+                    mrow = W[W_MPN]
+                    W[W_MPN] = mrow + 1
+                    for j in range(S):
+                        MP[mrow, j] = NB[cntrow, j] <= C[C_EAGER_THRESH]
+                    W[W_DIVROW] = mrow
+                    W[W_STATUS] = ST_DIVERGENT
+                    break
+                m = W[W_MN]
+                W[W_MN] = m + 1
+                m_src[m] = task
+                m_dst[m] = SCR[task, S_DST]
+                m_bid[m] = SCR[task, S_BID]
+                m_lr[m] = TLR[task]
+                m_qid[m] = SCR[task, S_QID]
+                if e0:
+                    ri, rar = _transfer(P, C, W, TP, NB, tr_res,
+                                        tr_cur, tr_kind, tr_mrow,
+                                        inj_free, nic_state,
+                                        fabric_free, nowrow,
+                                        TNODE[task], TLR[task], dnode,
+                                        cntrow, 0, cur)
+                    m_cnt[m] = cntrow
+                    m_flags[m] = 0
+                    m_sreq[m] = -1
+                    seq += 1
+                    nh = _hpush(ht, hs, hk, hta, hx, hrow, hpar, nh,
+                                TP[rar, 0], seq, K_DELIVER, task, m,
+                                rar, cur)
+                    seq += 1
+                    nh = _hpush(ht, hs, hk, hta, hx, hrow, hpar, nh,
+                                TP[ri, 0], seq, K_COMPLETE_SEND, task,
+                                req, ri, cur)
+                else:
+                    ri, rar = _transfer(P, C, W, TP, NB, tr_res,
+                                        tr_cur, tr_kind, tr_mrow,
+                                        inj_free, nic_state,
+                                        fabric_free, nowrow,
+                                        TNODE[task], TLR[task], dnode,
+                                        C[C_RTS_ROW], 0, cur)
+                    m_cnt[m] = cntrow
+                    m_flags[m] = 2
+                    m_sreq[m] = req
+                    seq += 1
+                    nh = _hpush(ht, hs, hk, hta, hx, hrow, hpar, nh,
+                                TP[rar, 0], seq, K_DELIVER, task, m,
+                                rar, cur)
+                do_run = True
+            elif kind == K_RECV_WORK:
+                # _BatchTask._recv_work
+                m = aux
+                if m_flags[m] & 1:
+                    cntrow = m_cnt[m]
+                    mech = _pick(C, W, NB, MP, cntrow)
+                    if mech < 0:
+                        break
+                    if C[C_TRACK_MB] != 0:
+                        _touch(tr_res, tr_cur, tr_kind, tr_mrow, W,
+                               C[C_MB_BASE] + m_bid[m], cur)
+                    fr, fc = _match_fixed(P, C, W, TP, NB, MP, warm,
+                                          task, m_bid[m], cntrow, mech)
+                    if W[W_STATUS] != ST_OK:
+                        break
+                    node = TNODE[task]
+                    mm_res = (ntasks + 2 * nodes + 1 + node)
+                    dr, dc = _occupy(P, W, TP, NB, MP, tr_res, tr_cur,
+                                     tr_kind, tr_mrow, lane_free, node,
+                                     nowrow, cntrow, fr, fc,
+                                     P[P_CORE_BW], mm_res, cur)
+                    if W[W_STATUS] != ST_OK:
+                        break
+                    if dr >= 0:
+                        fire = _addrow(TP, W, nowrow, dr)
+                    else:
+                        fire = _addc(TP, W, nowrow, dc)
+                    seq += 1
+                    nh = _hpush(ht, hs, hk, hta, hx, hrow, hpar, nh,
+                                TP[fire, 0], seq, K_RECV_DONE, task, m,
+                                fire, cur)
+                elif m_flags[m] & 2:
+                    ds1 = _addc(TP, W, nowrow, P[P_SEND_OVH])
+                    ds = _addc(TP, W, ds1, P[P_WIRE_LAT])
+                    src_node = m_src[m] // ppn
+                    ri, rar = _transfer(P, C, W, TP, NB, tr_res,
+                                        tr_cur, tr_kind, tr_mrow,
+                                        inj_free, nic_state,
+                                        fabric_free, ds, src_node,
+                                        m_lr[m], TNODE[task], m_cnt[m],
+                                        1, cur)
+                    seq += 1
+                    nh = _hpush(ht, hs, hk, hta, hx, hrow, hpar, nh,
+                                TP[ri, 0], seq, K_COMPLETE_SEND, task,
+                                m_sreq[m], ri, cur)
+                    fire = W[W_TPN]
+                    W[W_TPN] = fire + 1
+                    for j in range(S):
+                        TP[fire, j] = TP[nowrow, j] + (
+                            (TP[rar, j] - TP[nowrow, j])
+                            + P[P_RECV_OVH])
+                    seq += 1
+                    nh = _hpush(ht, hs, hk, hta, hx, hrow, hpar, nh,
+                                TP[fire, 0], seq, K_RECV_DONE, task, m,
+                                fire, cur)
+                else:
+                    if m_flags[m] & 4:
+                        node = TNODE[task]
+                        mm_res = (ntasks + 2 * nodes + 1 + node)
+                        dr, dc = _occupy(P, W, TP, NB, MP, tr_res,
+                                         tr_cur, tr_kind, tr_mrow,
+                                         lane_free, node, nowrow,
+                                         m_cnt[m], -1, P[P_RECV_OVH],
+                                         P[P_CORE_BW], mm_res, cur)
+                        if W[W_STATUS] != ST_OK:
+                            break
+                        if dr >= 0:
+                            fire = _addrow(TP, W, nowrow, dr)
+                        else:
+                            fire = _addc(TP, W, nowrow, dc)
+                    else:
+                        fire = _addc(TP, W, nowrow, P[P_RECV_OVH])
+                    seq += 1
+                    nh = _hpush(ht, hs, hk, hta, hx, hrow, hpar, nh,
+                                TP[fire, 0], seq, K_RECV_DONE, task, m,
+                                fire, cur)
+            elif kind == K_RECV_DONE:
+                m = aux
+                if (m_flags[m] & 1) and m_sreq[m] >= 0:
+                    rtail = _complete_send(TP, W, q_done, q_trow,
+                                           q_wait, q_wrow, rk, rt, ra,
+                                           rov, rtail, m_sreq[m],
+                                           nowrow)
+                do_nw = True
+            elif kind == K_NEXT_WAIT:
+                do_nw = True
+            elif kind == K_POST:
+                # _BatchTask._post
+                b = SCR[task, S_KEY]
+                if btrig[b] != 0:
+                    W[W_BCONF] = 1
+                btrig[b] = 1
+                bvbid[b] = SCR[task, S_VAL]
+                bvrow[b] = SCR[task, S_VAL2]
+                btrow[b] = nowrow
+                base = bw_base[b]
+                overflow = False
+                for q in range(bw_tail[b]):
+                    if rtail - rhead + 1 >= rcap:
+                        overflow = True
+                        break
+                    i = rtail % rcap
+                    rk[i] = K_LOOKUP
+                    rt[i] = bw_task[base + q]
+                    ra[i] = b
+                    rov[i] = _maxrow(TP, W, bw_rrow[base + q], nowrow)
+                    rtail += 1
+                if overflow:
+                    W[W_STATUS] = ST_OVERFLOW
+                    break
+                bw_tail[b] = 0
+                do_run = True
+            elif kind == K_LOOKUP:
+                # _BatchTask._lookup: schedule the bind pip_flag later
+                fire = _addc(TP, W, nowrow, P[P_PIP_FLAG])
+                seq += 1
+                nh = _hpush(ht, hs, hk, hta, hx, hrow, hpar, nh,
+                            TP[fire, 0], seq, K_LOOKUP_BIND, task, aux,
+                            fire, cur)
+            elif kind == K_LOOKUP_BIND:
+                b = aux
+                bind = SCR[task, S_BIND]
+                if bind >= 0:
+                    ENVB[task, bind] = bvbid[b]
+                    ENVCR[task, bind] = bvrow[b]
+                do_run = True
+            elif kind == K_ADD:
+                # _BatchTask._add
+                c = SCR[task, S_KEY]
+                n = SCR[task, S_VAL]
+                cval[c] += n
+                i = W[W_CAN]
+                W[W_CAN] = i + 1
+                ca_row[i] = nowrow
+                ca_nv[i] = n
+                ca_next[i] = -1
+                if ca_head[c] < 0:
+                    ca_head[c] = i
+                else:
+                    ca_next[ca_tail[c]] = i
+                ca_tail[c] = i
+                tm = ctmax[c]
+                if tm < 0:
+                    ctmax[c] = nowrow
+                else:
+                    ge = True
+                    for j in range(S):
+                        if TP[nowrow, j] < TP[tm, j]:
+                            ge = False
+                            break
+                    if ge:
+                        ctmax[c] = nowrow
+                    else:
+                        csort[c] = 0
+                base = cw_base[c]
+                overflow = False
+                for q in range(cw_tail[c]):
+                    if cw_act[base + q] == 0:
+                        continue
+                    if cval[c] >= cw_thr[base + q]:
+                        if (rtail - rhead + 1 >= rcap
+                                or W[W_CKN] + 1 >= ckcap
+                                or W[W_TPN] + 4 >= tcap):
+                            overflow = True
+                            break
+                        cw_act[base + q] = 0
+                        crs = _crossing(TP, W, ca_row, ca_nv, ca_next,
+                                        ca_head, csort, CS, c,
+                                        cw_thr[base + q])
+                        used = _maxrow(TP, W, cw_rrow[base + q], crs)
+                        k = W[W_CKN]
+                        W[W_CKN] = k + 1
+                        ck_cid[k] = c
+                        ck_thr[k] = cw_thr[base + q]
+                        ck_reach[k] = cw_rrow[base + q]
+                        ck_used[k] = used
+                        i = rtail % rcap
+                        rk[i] = K_CWAIT
+                        rt[i] = cw_task[base + q]
+                        ra[i] = -1
+                        rov[i] = used
+                        rtail += 1
+                if overflow:
+                    W[W_STATUS] = ST_OVERFLOW
+                    break
+                do_run = True
+            elif kind == K_CWAIT:
+                fire = _addc(TP, W, nowrow, P[P_PIP_FLAG])
+                seq += 1
+                nh = _hpush(ht, hs, hk, hta, hx, hrow, hpar, nh,
+                            TP[fire, 0], seq, K_RUN, task, -1, fire,
+                            cur)
+            elif kind == K_DELIVER:
+                rtail = _deliver(C, W, TP, tr_res, tr_cur, tr_kind,
+                                 tr_mrow, m_dst, m_flags, m_trow,
+                                 m_qid, q_done, q_msg, q_trow, q_wait,
+                                 q_wrow, AQ, AQB, aq_head, aq_tail,
+                                 PQ, PQB, pq_head, pq_tail,
+                                 rk, rt, ra, rov, rtail, aux, nowrow,
+                                 cur)
+            else:  # K_COMPLETE_SEND
+                rtail = _complete_send(TP, W, q_done, q_trow, q_wait,
+                                       q_wrow, rk, rt, ra, rov, rtail,
+                                       aux, nowrow)
+
+            if do_nw:
+                # _BatchTask._next_wait: advance the wait list
+                i2 = SCR[task, S_WIDX] + 1
+                if i2 < SCR[task, S_WLEN]:
+                    SCR[task, S_WIDX] = i2
+                    h = WLISTS[SCR[task, S_WOFF] + i2]
+                    r = HND[task, h]
+                    fk = K_NEXT_WAIT if q_kind[r] == 0 else K_RECV_WORK
+                    if q_done[r] != 0:
+                        i = rtail % rcap
+                        rk[i] = fk
+                        rt[i] = task
+                        ra[i] = q_msg[r]
+                        rov[i] = _maxrow(TP, W, nowrow, q_trow[r])
+                        rtail += 1
+                    else:
+                        q_wait[r] = task
+                        q_wrow[r] = nowrow
+                else:
+                    do_run = True
+
+            if do_run:
+                # the fastpath-step interpreter (_BatchTask._run)
+                pc = SCR[task, S_PC]
+                pe = OPSTART[task + 1]
+                suspended = False
+                while pc < pe:
+                    code = OPS[pc, 0]
+                    if code == OP_LOOKUP:
+                        SCR[task, S_PC] = pc + 1
+                        SCR[task, S_BIND] = OPS[pc, 1]
+                        b = OPB[pc]
+                        if btrig[b] != 0:
+                            i = rtail % rcap
+                            rk[i] = K_LOOKUP
+                            rt[i] = task
+                            ra[i] = b
+                            rov[i] = _maxrow(TP, W, nowrow, btrow[b])
+                            rtail += 1
+                        else:
+                            slot = bw_base[b] + bw_tail[b]
+                            bw_task[slot] = task
+                            bw_rrow[slot] = nowrow
+                            bw_tail[b] += 1
+                        suspended = True
+                        break
+                    elif code == OP_SEND_INTRA:
+                        nameid = OPS[pc, 2]
+                        cntrow = OPS[pc, 4]
+                        bid = ENVB[task, nameid]
+                        if cntrow < 0:
+                            crow = ENVCR[task, nameid]
+                            offrow = OPS[pc, 3]
+                            nr = W[W_NBN]
+                            W[W_NBN] = nr + 1
+                            for j in range(S):
+                                NB[nr, j] = (NB[crow, j]
+                                             - NB[offrow, j])
+                            cntrow = nr
+                        r = W[W_RN]
+                        W[W_RN] = r + 1
+                        q_kind[r] = 0
+                        q_done[r] = 0
+                        q_msg[r] = -1
+                        q_wait[r] = -1
+                        HND[task, OPS[pc, 5]] = r
+                        SCR[task, S_PC] = pc + 1
+                        SCR[task, S_DST] = OPS[pc, 1]
+                        SCR[task, S_BID] = bid
+                        SCR[task, S_CNT] = cntrow
+                        SCR[task, S_QID] = OPQ[pc]
+                        SCR[task, S_REQ] = r
+                        if C[C_TRACK_MB] != 0:
+                            _touch(tr_res, tr_cur, tr_kind, tr_mrow,
+                                   W, C[C_MB_BASE] + bid, cur)
+                        mech = _pick(C, W, NB, MP, cntrow)
+                        if mech < 0:
+                            break
+                        node = TNODE[task]
+                        mm_res = (ntasks + 2 * nodes + 1 + node)
+                        dr, dc = _sender_occupy(P, C, W, TP, NB, MP,
+                                                tr_res, tr_cur,
+                                                tr_kind, tr_mrow,
+                                                warm, lane_free, node,
+                                                task, bid, cntrow,
+                                                nowrow, mech, mm_res,
+                                                cur)
+                        if W[W_STATUS] != ST_OK:
+                            break
+                        if dr >= 0:
+                            fire = _addrow(TP, W, nowrow, dr)
+                        else:
+                            fire = _addc(TP, W, nowrow, dc)
+                        seq += 1
+                        nh = _hpush(ht, hs, hk, hta, hx, hrow, hpar,
+                                    nh, TP[fire, 0], seq,
+                                    K_SEND_INTRA, task, -1, fire, cur)
+                        suspended = True
+                        break
+                    elif code == OP_SEND_INTER:
+                        nameid = OPS[pc, 3]
+                        cntrow = OPS[pc, 5]
+                        bid = ENVB[task, nameid]
+                        if cntrow < 0:
+                            crow = ENVCR[task, nameid]
+                            offrow = OPS[pc, 4]
+                            nr = W[W_NBN]
+                            W[W_NBN] = nr + 1
+                            for j in range(S):
+                                NB[nr, j] = (NB[crow, j]
+                                             - NB[offrow, j])
+                            cntrow = nr
+                        r = W[W_RN]
+                        W[W_RN] = r + 1
+                        q_kind[r] = 0
+                        q_done[r] = 0
+                        q_msg[r] = -1
+                        q_wait[r] = -1
+                        HND[task, OPS[pc, 6]] = r
+                        SCR[task, S_PC] = pc + 1
+                        SCR[task, S_DST] = OPS[pc, 1]
+                        SCR[task, S_NODE] = OPS[pc, 2]
+                        SCR[task, S_BID] = bid
+                        SCR[task, S_CNT] = cntrow
+                        SCR[task, S_QID] = OPQ[pc]
+                        SCR[task, S_REQ] = r
+                        fire = _addc(TP, W, nowrow, P[P_SEND_OVH])
+                        seq += 1
+                        nh = _hpush(ht, hs, hk, hta, hx, hrow, hpar,
+                                    nh, TP[fire, 0], seq,
+                                    K_SEND_INTER, task, -1, fire, cur)
+                        suspended = True
+                        break
+                    elif code == OP_RECV:
+                        qid = OPQ[pc]
+                        r = W[W_RN]
+                        W[W_RN] = r + 1
+                        q_kind[r] = 1
+                        q_done[r] = 0
+                        q_msg[r] = -1
+                        q_wait[r] = -1
+                        HND[task, OPS[pc, 1]] = r
+                        res = C[C_QRES_BASE] + qid
+                        alen = aq_tail[qid] - aq_head[qid]
+                        if alen > 0:
+                            ok = -1 if alen == 1 else -2
+                            _touch_ok(tr_res, tr_cur, tr_kind,
+                                      tr_mrow, W, res, cur, ok)
+                            m = AQ[AQB[qid] + aq_head[qid]]
+                            aq_head[qid] += 1
+                            q_done[r] = 1
+                            q_msg[r] = m
+                            q_trow[r] = m_trow[m]
+                        else:
+                            PQ[PQB[qid] + pq_tail[qid]] = r
+                            pq_tail[qid] += 1
+                            plen = pq_tail[qid] - pq_head[qid]
+                            ok = -1 if plen == 1 else -2
+                            _touch_ok(tr_res, tr_cur, tr_kind,
+                                      tr_mrow, W, res, cur, ok)
+                        pc += 1
+                    elif code == OP_WAIT:
+                        woff = OPS[pc, 1]
+                        SCR[task, S_PC] = pc + 1
+                        SCR[task, S_WOFF] = woff
+                        SCR[task, S_WLEN] = OPS[pc, 2]
+                        SCR[task, S_WIDX] = 0
+                        r = HND[task, WLISTS[woff]]
+                        fk = (K_NEXT_WAIT if q_kind[r] == 0
+                              else K_RECV_WORK)
+                        if q_done[r] != 0:
+                            i = rtail % rcap
+                            rk[i] = fk
+                            rt[i] = task
+                            ra[i] = q_msg[r]
+                            rov[i] = _maxrow(TP, W, nowrow, q_trow[r])
+                            rtail += 1
+                        else:
+                            q_wait[r] = task
+                            q_wrow[r] = nowrow
+                        suspended = True
+                        break
+                    elif code == OP_COPY or code == OP_REDUCE:
+                        nameid = OPS[pc, 1]
+                        cntrow = OPS[pc, 3]
+                        if cntrow < 0:
+                            crow = ENVCR[task, nameid]
+                            offrow = OPS[pc, 2]
+                            nr = W[W_NBN]
+                            W[W_NBN] = nr + 1
+                            for j in range(S):
+                                NB[nr, j] = (NB[crow, j]
+                                             - NB[offrow, j])
+                            cntrow = nr
+                        bw = (P[P_CORE_BW] if code == OP_COPY
+                              else P[P_REDUCE_BW])
+                        node = TNODE[task]
+                        mm_res = (ntasks + 2 * nodes + 1 + node)
+                        dr, dc = _occupy(P, W, TP, NB, MP, tr_res,
+                                         tr_cur, tr_kind, tr_mrow,
+                                         lane_free, node, nowrow,
+                                         cntrow, -1, 0.0, bw, mm_res,
+                                         cur)
+                        if W[W_STATUS] != ST_OK:
+                            break
+                        if dr >= 0:
+                            fire = _addrow(TP, W, nowrow, dr)
+                        else:
+                            fire = _addc(TP, W, nowrow, dc)
+                        SCR[task, S_PC] = pc + 1
+                        seq += 1
+                        nh = _hpush(ht, hs, hk, hta, hx, hrow, hpar,
+                                    nh, TP[fire, 0], seq, K_RUN, task,
+                                    -1, fire, cur)
+                        suspended = True
+                        break
+                    elif code == OP_POST:
+                        nameid = OPS[pc, 1]
+                        cntrow = OPS[pc, 3]
+                        if cntrow < 0:
+                            crow = ENVCR[task, nameid]
+                            offrow = OPS[pc, 2]
+                            nr = W[W_NBN]
+                            W[W_NBN] = nr + 1
+                            for j in range(S):
+                                NB[nr, j] = (NB[crow, j]
+                                             - NB[offrow, j])
+                            cntrow = nr
+                        SCR[task, S_PC] = pc + 1
+                        SCR[task, S_KEY] = OPB[pc]
+                        SCR[task, S_VAL] = ENVB[task, nameid]
+                        SCR[task, S_VAL2] = cntrow
+                        fire = _addc(TP, W, nowrow, P[P_PIP_POST])
+                        seq += 1
+                        nh = _hpush(ht, hs, hk, hta, hx, hrow, hpar,
+                                    nh, TP[fire, 0], seq, K_POST,
+                                    task, -1, fire, cur)
+                        suspended = True
+                        break
+                    elif code == OP_ADD:
+                        SCR[task, S_PC] = pc + 1
+                        SCR[task, S_KEY] = OPCID[pc]
+                        SCR[task, S_VAL] = OPS[pc, 1]
+                        fire = _addc(TP, W, nowrow, P[P_PIP_FLAG])
+                        seq += 1
+                        nh = _hpush(ht, hs, hk, hta, hx, hrow, hpar,
+                                    nh, TP[fire, 0], seq, K_ADD, task,
+                                    -1, fire, cur)
+                        suspended = True
+                        break
+                    elif code == OP_CWAIT:
+                        thr = OPS[pc, 1]
+                        c = OPCID[pc]
+                        SCR[task, S_PC] = pc + 1
+                        if cval[c] >= thr:
+                            if ca_head[c] < 0:
+                                crs = nowrow
+                            else:
+                                crs = _crossing(TP, W, ca_row, ca_nv,
+                                                ca_next, ca_head,
+                                                csort, CS, c, thr)
+                            used = _maxrow(TP, W, nowrow, crs)
+                            k = W[W_CKN]
+                            W[W_CKN] = k + 1
+                            ck_cid[k] = c
+                            ck_thr[k] = thr
+                            ck_reach[k] = nowrow
+                            ck_used[k] = used
+                            fire = _addc(TP, W, used, P[P_PIP_FLAG])
+                            seq += 1
+                            nh = _hpush(ht, hs, hk, hta, hx, hrow,
+                                        hpar, nh, TP[fire, 0], seq,
+                                        K_RUN, task, -1, fire, cur)
+                        else:
+                            slot = cw_base[c] + cw_tail[c]
+                            cw_thr[slot] = thr
+                            cw_task[slot] = task
+                            cw_rrow[slot] = nowrow
+                            cw_act[slot] = 1
+                            cw_tail[c] += 1
+                        suspended = True
+                        break
+                    elif code == OP_ALLOC:
+                        W[W_BUFSEQ] += 1
+                        ENVB[task, OPS[pc, 1]] = W[W_BUFSEQ]
+                        ENVCR[task, OPS[pc, 1]] = OPS[pc, 2]
+                        pc += 1
+                    elif code == OP_COMPUTE:
+                        frow = OPS[pc, 1]
+                        fire = W[W_TPN]
+                        W[W_TPN] = fire + 1
+                        for j in range(S):
+                            TP[fire, j] = TP[nowrow, j] + FPR[frow, j]
+                        SCR[task, S_PC] = pc + 1
+                        seq += 1
+                        nh = _hpush(ht, hs, hk, hta, hx, hrow, hpar,
+                                    nh, TP[fire, 0], seq, K_RUN, task,
+                                    -1, fire, cur)
+                        suspended = True
+                        break
+                    else:  # OP_PHASE (a no-op marker)
+                        pc += 1
+                if W[W_STATUS] != ST_OK:
+                    break
+                if not suspended:
+                    SCR[task, S_PC] = pc
+                    end_row[task] = nowrow
+                    W[W_LIVE] -= 1
+
+            if from_ready:
+                nowrow = tvec
+            if W[W_STATUS] != ST_OK:
+                break
+
+        W[W_SEQ] = seq
+        if W[W_STATUS] != ST_OK:
+            return
+        npop = W[W_POPN]
+        if npop > epop:
+            nr = W[W_TPN]
+            W[W_TPN] = nr + 1
+            for j in range(S):
+                TP[nr, j] = TP[pop_row[epop], j]
+            for q in range(epop + 1, npop):
+                for j in range(S):
+                    if TP[pop_row[q], j] > TP[nr, j]:
+                        TP[nr, j] = TP[pop_row[q], j]
+            W[W_NOWROW] = nr
+        if W[W_LIVE] > 0:
+            W[W_STATUS] = ST_DEADLOCK
+            return
+        for qid in range(C[C_NQUEUES]):
+            if (aq_tail[qid] != aq_head[qid]
+                    or pq_tail[qid] != pq_head[qid]):
+                W[W_STATUS] = ST_LEFTOVER
+                return
+        er = W[W_TPN]
+        W[W_TPN] = er + 2
+        el = er + 1
+        for j in range(S):
+            TP[er, j] = TP[end_row[0], j]
+        for t in range(1, ntasks):
+            for j in range(S):
+                if TP[end_row[t], j] > TP[er, j]:
+                    TP[er, j] = TP[end_row[t], j]
+        for j in range(S):
+            TP[el, j] = TP[er, j] - TP[start, j]
+        W[W_ELAPSED] = el
+
+    return {
+        "replay": replay,
+    }
+
+
+_KERNEL_CACHE: dict = {}
+
+#: ordered argument names for the replay kernel — the scheduler binds
+#: its world arrays to the kernel call in exactly this order
+REPLAY_ARGS = (
+    "P", "C", "W", "OPS", "OPSTART", "WLISTS", "FPR", "TNODE", "TLR",
+    "OPQ", "OPB", "OPCID", "ENVB", "ENVCR", "SCR", "HND",
+    "TP", "NB", "MP",
+    "ht", "hs", "hk", "hta", "hx", "hrow", "hpar",
+    "rk", "rt", "ra", "rov",
+    "pop_row", "pop_seq", "pop_epoch", "pop_par",
+    "tr_res", "tr_cur", "tr_kind", "tr_mrow",
+    "m_src", "m_dst", "m_cnt", "m_bid", "m_flags", "m_lr", "m_sreq",
+    "m_trow", "m_qid",
+    "q_kind", "q_done", "q_msg", "q_trow", "q_wait", "q_wrow",
+    "AQ", "AQB", "aq_head", "aq_tail", "PQ", "PQB", "pq_head",
+    "pq_tail",
+    "btrig", "bvbid", "bvrow", "btrow",
+    "bw_task", "bw_rrow", "bw_base", "bw_tail",
+    "cval", "csort", "ctmax", "ca_row", "ca_nv", "ca_next", "ca_head",
+    "ca_tail",
+    "cw_thr", "cw_task", "cw_rrow", "cw_act", "cw_base", "cw_tail",
+    "ck_cid", "ck_thr", "ck_reach", "ck_used",
+    "warm", "lane_free", "inj_free", "nic_state", "fabric_free",
+    "end_row", "CS",
+)
+
+
+def get_kernels(force_interp: bool = False) -> dict:
+    """Build (or fetch the cached) replay kernel set.
+
+    Mirrors :func:`repro.sim.native_timeline.get_kernels`: under numba
+    the kernel is compiled ``nopython`` with on-disk caching; without
+    numba (or with ``PIPMCOLL_NO_NATIVE`` set, or ``force_interp``)
+    the identical Python source runs interpreted so results never
+    depend on which tier executed.
+    """
+    global build_count
+    use_jit = jit_available() and not force_interp
+    key = "jit" if use_jit else "interp"
+    cached = _KERNEL_CACHE.get(key)
+    if cached is not None:
+        return cached
+    if use_jit:  # pragma: no cover - exercised only with numba
+        from numba import njit
+
+        try:
+            jit = njit(cache=True)
+            kernels = build_kernels(jit)
+        except Exception:
+            jit = njit
+            kernels = build_kernels(jit)
+    else:
+        def jit(fn):
+            return fn
+
+        kernels = build_kernels(jit)
+    build_count += 1
+    kernels = dict(kernels, mode=key)
+    _KERNEL_CACHE[key] = kernels
+    return kernels

@@ -337,6 +337,7 @@ def test_lowering_counters_aggregate_across_column_work_units(jobs):
     runner = SweepRunner(jobs=jobs, use_cache=False)
     assert runner.lowering_cache_totals() == {
         "hits": 0, "misses": 0, "columns": 0,
+        "jit_columns": 0, "interp_columns": 0, "native_bailouts": 0,
     }
     runner.run(pts)
     totals = runner.lowering_cache_totals()
@@ -352,7 +353,9 @@ def test_lowering_delta_worker_returns_results_and_counters():
     clear_lowering_cache()
     col_results, delta = run_sweep_column_stats(COLUMN_POINTS)
     assert col_results == run_sweep_column(COLUMN_POINTS)
-    assert set(delta) == {"hits", "misses"}
+    assert set(delta) == {
+        "hits", "misses", "kernel_mode", "native_bailouts",
+    }
     assert delta["misses"] > 0
     clear_lowering_cache()
 

@@ -1,0 +1,302 @@
+"""The native batch engine's contract: bit-identical to engine="batch".
+
+``engine="native-batch"`` lowers the batch engine's structural-signature
+groups to flat array programs and replays the whole vector-clock pass in
+the (conditionally numba-JIT) kernel of
+:mod:`repro.sim.native_batchline`.  Its acceptance contract is the batch
+engine's, inherited transitively from the DAG engine: *bit-identical*
+samples and message counts for every (point, size) — across the registry
+grid, threshold-straddling axes, and forced-divergence passes where the
+conflict adjudicator flags every size.  The interp twin of the kernel is
+what runs on numba-free installs (including this suite), so the exact
+kernel logic is pinned here; the CI ``native-engine`` job reruns the same
+suite with numba installed, where ``get_kernels`` JIT-compiles the
+identical source.
+"""
+
+import builtins
+import random
+
+import numpy as np
+import pytest
+
+from repro.bench.microbench import run_point
+from repro.sched import batch as batch_mod
+from repro.sched import native_batch
+from repro.sched.batch import clear_lowering_cache
+from repro.sched.registry import registry_combinations
+from repro.sim import native_batchline as nbl
+from repro.sim.batchline import BatchTimeline
+
+#: canonical registry name -> the benchmark-facing display name
+BENCH_NAME = {
+    "pip-mcoll": "PiP-MColl",
+    "pip-mcoll-small": "PiP-MColl-small",
+    "pip-mpich": "PiP-MPICH",
+    "openmpi": "OpenMPI",
+}
+
+#: straddles the 16 KB eager/rendezvous default, the hybrid intranode
+#: thresholds, and the PiP-MColl 64 KB algorithm switches
+STRADDLE_AXIS = (16, 512, 4096, 16384, 32768, 65536, 131072, 262144)
+
+SHAPES = ((2, 2), (4, 3))
+
+
+def _assert_column_identical(lib, coll, nodes, ppn, sizes, **kw):
+    """native-batch vs batch, cold caches on both sides."""
+    clear_lowering_cache()
+    ref = batch_mod.evaluate_column(BENCH_NAME[lib], coll, nodes, ppn,
+                                    sizes, **kw)
+    clear_lowering_cache()
+    col = native_batch.evaluate_column(BENCH_NAME[lib], coll, nodes, ppn,
+                                       sizes, **kw)
+    assert set(col.results) == set(sizes)
+    for s in sizes:
+        label = f"{lib}/{coll} {nodes}x{ppn} {s}B"
+        assert col.results[s].samples == ref.results[s].samples, label
+        assert col.results[s].internode_messages == \
+            ref.results[s].internode_messages, label
+    # the engines must agree on the adjudication verdicts too, not just
+    # the numbers: same partitions, same divergence fallbacks
+    assert col.stats.partitions == ref.stats.partitions
+    assert col.stats.fallback_sizes == ref.stats.fallback_sizes
+    assert col.stats.singleton_sizes == ref.stats.singleton_sizes
+    assert col.stats.splits == ref.stats.splits
+    assert col.stats.retries == ref.stats.retries
+    assert col.stats.kernel_mode in ("jit", "interp")
+    clear_lowering_cache()
+    return col
+
+
+# -- the acceptance grid: every registry pair, threshold-straddling axes --
+
+
+@pytest.mark.parametrize("lib,coll", registry_combinations())
+def test_column_identical_on_registry_grid(lib, coll):
+    for nodes, ppn in SHAPES:
+        _assert_column_identical(lib, coll, nodes, ppn, STRADDLE_AXIS)
+
+
+def test_column_identical_on_randomized_shapes():
+    """Fixed-seed fuzz over shapes, axes and iteration protocols."""
+    rng = random.Random(7)
+    combos = registry_combinations()
+    for _ in range(6):
+        lib, coll = rng.choice(combos)
+        nodes = rng.randint(2, 4)
+        ppn = rng.randint(1, 4)
+        sizes = tuple(sorted(rng.sample(
+            (16, 256, 1024, 4096, 16384, 65536, 262144), 4)))
+        warmup = rng.randint(0, 2)
+        _assert_column_identical(lib, coll, nodes, ppn, sizes,
+                                 warmup=warmup, measure=2)
+
+
+def test_native_batch_honours_threshold_overrides():
+    from repro.core.tuning import Thresholds
+
+    _assert_column_identical(
+        "pip-mcoll", "allreduce", 2, 2, (512, 32768, 131072),
+        thresholds=Thresholds.always_large(),
+    )
+
+
+# -- forced divergence: the adjudicator must run the pure engine's code --
+
+
+def test_forced_order_divergence_falls_back_to_dag(monkeypatch):
+    """With every size flagged divergent, the native engine must take the
+    same DAG bail-out as the pure engine — the reconstruction-based
+    adjudication replays the kernel's touch logs through a *real*
+    ``BatchTimeline``, so a monkeypatched ``order_divergence`` governs
+    both engines identically."""
+
+    def all_divergent(self):
+        return np.ones(self.width, dtype=bool)
+
+    monkeypatch.setattr(BatchTimeline, "order_divergence", all_divergent)
+    col = _assert_column_identical(
+        "pip-mcoll", "allgather", 2, 2, (512, 1024, 2048, 4096),
+    )
+    assert set(col.stats.fallback_sizes) | set(col.stats.singleton_sizes) \
+        == {512, 1024, 2048, 4096}
+
+
+# -- run_point / sweep-runner wiring ---------------------------------------
+
+
+def test_run_point_engine_native_batch_identical_to_batch():
+    nat = run_point("PiP-MColl", "allreduce", 2, 2, 4096,
+                    engine="native-batch")
+    ref = run_point("PiP-MColl", "allreduce", 2, 2, 4096, engine="batch")
+    assert nat == ref
+
+
+def test_native_batch_rejects_tracing():
+    from repro.sim.trace import Tracer
+
+    with pytest.raises(ValueError, match="trace"):
+        run_point("PiP-MColl", "allreduce", 2, 2, 512,
+                  engine="native-batch", tracer=Tracer())
+
+
+def test_sweep_column_routes_prefer_native_batch(monkeypatch):
+    """Column work units upgrade to the native kernel exactly when it is
+    available; explicit ``engine="batch"`` stays pure."""
+    from repro.bench.runner.points import Point
+    from repro.bench.runner.pool import (
+        plan_column_routes,
+        run_sweep_column_stats,
+    )
+
+    pts = [
+        Point("PiP-MColl", "allgather", 2, 2, s, engine="native-batch")
+        for s in (512, 2048, 8192)
+    ]
+    assert sum(len(v) for v in plan_column_routes(pts).values()) == 3
+
+    clear_lowering_cache()
+    monkeypatch.setattr(native_batch, "native_batch_available",
+                        lambda: True)
+    results, delta = run_sweep_column_stats(pts)
+    assert delta["kernel_mode"] in ("jit", "interp")
+    assert delta["native_bailouts"] == 0
+
+    clear_lowering_cache()
+    batch_pts = [
+        Point("PiP-MColl", "allgather", 2, 2, s, engine="batch")
+        for s in (512, 2048, 8192)
+    ]
+    ref, ref_delta = run_sweep_column_stats(batch_pts)
+    assert ref_delta["kernel_mode"] == ""
+    assert [
+        (r.samples, r.internode_messages) for r in results
+    ] == [(r.samples, r.internode_messages) for r in ref]
+    clear_lowering_cache()
+
+
+def test_native_bailout_falls_back_to_pure_batch(monkeypatch):
+    """A kernel bail-out mid-column reruns that pass on the pure engine —
+    results identical, and the bailout surfaces in the stats."""
+    from repro.sched.native import NativeBailout
+
+    def bail(*args, **kwargs):
+        raise NativeBailout("synthetic bail")
+
+    monkeypatch.setattr(native_batch, "_evaluate_partition_native", bail)
+    clear_lowering_cache()
+    col = native_batch.evaluate_column(
+        "PiP-MColl", "scatter", 2, 2, (512, 2048, 8192))
+    clear_lowering_cache()
+    ref = batch_mod.evaluate_column(
+        "PiP-MColl", "scatter", 2, 2, (512, 2048, 8192))
+    assert col.results == ref.results
+    assert col.stats.native_bailouts >= 1
+    clear_lowering_cache()
+
+
+# -- the kill switch: one env var silences every JIT tier ------------------
+
+
+def _block_numba(monkeypatch):
+    monkeypatch.delenv("PIPMCOLL_NO_NATIVE", raising=False)
+    real_import = builtins.__import__
+
+    def blocked(name, *args, **kwargs):
+        if name == "numba" or name.startswith("numba."):
+            raise ImportError("numba blocked for this test")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", blocked)
+
+
+def test_escape_hatch_disables_native_batch(monkeypatch):
+    monkeypatch.setenv("PIPMCOLL_NO_NATIVE", "1")
+    assert not native_batch.native_batch_available()
+    assert not nbl.jit_available()
+    assert nbl.kernel_mode() == "interp"
+
+
+def test_escape_hatch_runs_pure_python_batchline(monkeypatch):
+    """With the kill switch set, column work units must run the
+    pure-Python batchline — the kernel module is never consulted."""
+    from repro.bench.runner.points import Point
+    from repro.bench.runner.pool import run_sweep_column
+
+    monkeypatch.setenv("PIPMCOLL_NO_NATIVE", "1")
+
+    def boom(*args, **kwargs):
+        raise AssertionError(
+            "native batch evaluator called despite PIPMCOLL_NO_NATIVE=1")
+
+    monkeypatch.setattr(native_batch, "evaluate_column", boom)
+    pts = [
+        Point("PiP-MColl", "allgather", 2, 2, s, engine="native-batch")
+        for s in (512, 2048)
+    ]
+    clear_lowering_cache()
+    results = run_sweep_column(pts)
+    clear_lowering_cache()
+    ref = batch_mod.evaluate_column(
+        "PiP-MColl", "allgather", 2, 2, (512, 2048))
+    assert [(r.samples, r.internode_messages) for r in results] == [
+        (ref.results[s].samples, ref.results[s].internode_messages)
+        for s in (512, 2048)
+    ]
+    clear_lowering_cache()
+
+
+def test_run_point_falls_back_to_batch_without_numba(monkeypatch):
+    _block_numba(monkeypatch)
+    assert not native_batch.native_batch_available()
+
+    def boom(*args, **kwargs):
+        raise AssertionError(
+            "native batch evaluator called despite numba absent")
+
+    monkeypatch.setattr(native_batch, "evaluate_column", boom)
+    result = run_point("PiP-MColl", "scatter", 2, 2, 512,
+                       engine="native-batch")
+    reference = run_point("PiP-MColl", "scatter", 2, 2, 512,
+                          engine="batch")
+    assert result == reference
+
+
+# -- warmup cache: the kernel builds once, never rebuilds ------------------
+
+
+def test_kernel_cache_returns_same_object():
+    first = nbl.get_kernels(force_interp=True)
+    assert nbl.get_kernels(force_interp=True) is first
+    assert first["mode"] == "interp"
+
+
+def test_repeat_evaluations_do_not_rebuild_kernels():
+    native_batch.evaluate_column("pip-mcoll", "scatter", 2, 2, (64, 256),
+                                 force_interp=True)
+    before = nbl.build_count
+    for _ in range(3):
+        native_batch.evaluate_column(
+            "pip-mcoll", "scatter", 2, 2, (64, 256), force_interp=True)
+        native_batch.evaluate_column(
+            "pip-mcoll", "allreduce", 2, 3, (2048, 8192),
+            force_interp=True)
+    assert nbl.build_count == before
+
+
+def test_warm_kernels_is_idempotent_and_no_recompile():
+    mode = native_batch.warm_kernels()
+    assert mode in ("jit", "interp")
+    kernels = nbl.get_kernels()
+    before = nbl.build_count
+    if mode == "jit":  # pragma: no cover - needs numba installed
+        sigs = len(kernels["replay"].signatures)
+    assert native_batch.warm_kernels() == mode
+    assert nbl.build_count == before
+    assert nbl.get_kernels() is kernels
+    if mode == "jit":  # pragma: no cover - needs numba installed
+        # warm again on the same grid point: no new specialization
+        native_batch.evaluate_column("pip-mcoll", "scatter", 2, 2,
+                                     (64, 256))
+        assert len(kernels["replay"].signatures) == sigs
